@@ -1,0 +1,12 @@
+"""E01 — encoded memory F = 1 − O(ε²) vs bare 1 − ε (Eq. 14)."""
+
+from repro.experiments.e01_encoded_memory import run
+
+
+def test_e01_encoded_memory(run_once):
+    result = run_once(run, quick=True)
+    assert 1.6 < result["measured_exponent"] < 2.4
+    assert result["encoding_helps_everywhere"]
+    # Quadratic gain grows as eps falls.
+    gains = [r["gain"] for r in result["rows"]]
+    assert gains[0] > gains[-1]

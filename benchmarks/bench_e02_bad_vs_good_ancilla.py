@@ -1,0 +1,13 @@
+"""E02 — Fig. 2's shared-ancilla circuit vs Fig. 6's Shor-state circuit."""
+
+from repro.experiments.e02_bad_vs_good_ancilla import run
+
+
+def test_e02_bad_vs_good_ancilla(run_once):
+    result = run_once(run, quick=True)
+    # Bad circuit fails at order eps, good at order eps^2.
+    assert result["measured_bad_order"] < 1.5
+    assert result["measured_good_order"] > 1.5
+    assert result["separation_at_1e3"] > 2
+    for row in result["rows"]:
+        assert row["good_logical_z"] <= row["bad_logical_z"]

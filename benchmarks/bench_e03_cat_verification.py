@@ -1,0 +1,12 @@
+"""E03 — cat-state verification suppresses correlated double errors."""
+
+from repro.experiments.e03_cat_verification import run
+
+
+def test_e03_cat_verification(run_once):
+    result = run_once(run, quick=True)
+    assert result["verified_better_everywhere"]
+    # Acceptance stays high in the useful regime.
+    assert result["rows"][0]["acceptance"] > 0.9
+    # Suppression strengthens as eps falls (O(eps) -> O(eps^2)).
+    assert result["rows"][0]["suppression"] >= 1.0

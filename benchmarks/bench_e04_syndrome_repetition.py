@@ -1,0 +1,11 @@
+"""E04 — §3.4: trust only a repeated nontrivial syndrome."""
+
+from repro.experiments.e04_syndrome_repetition import run
+
+
+def test_e04_syndrome_repetition(run_once):
+    result = run_once(run, quick=True)
+    assert result["repetition_helps"]
+    # The single-reading policy pays an order-eps penalty: at the lower
+    # physical rate the improvement factor must be substantial.
+    assert result["rows"][0]["improvement"] > 2

@@ -1,0 +1,15 @@
+"""E05 — Shor 24+24 vs Steane 14+14 extraction cost (§3.2–3.3)."""
+
+from repro.experiments.e05_shor_vs_steane_cost import run
+
+
+def test_e05_shor_vs_steane_cost(run_once):
+    result = run_once(run, quick=True)
+    # The paper's counts must be reproduced *exactly* by the circuits.
+    assert result["measured_shor_ancillas"] == result["paper_shor_ancillas"] == 24
+    assert result["measured_shor_xors"] == result["paper_shor_xors"] == 24
+    assert result["measured_steane_ancillas"] == result["paper_steane_ancillas"] == 14
+    assert result["measured_steane_xors"] == result["paper_steane_xors"] == 14
+    # Both protocols operate in the same noise regime without blowing up.
+    assert result["shor_logical_failure"] < 0.05
+    assert result["steane_logical_failure"] < 0.05

@@ -1,0 +1,14 @@
+"""E06 — Eqs. 30–32: block error, optimal t, required accuracy."""
+
+from repro.experiments.e06_code_family_scaling import run
+
+
+def test_e06_code_family_scaling(run_once):
+    result = run_once(run, quick=True)
+    assert result["formula_tracks_bruteforce"]
+    # eps ~ (log T)^-4: doubling log T divides the requirement by 16.
+    assert abs(result["measured_shape_ratio"] - result["paper_shape_ratio_logT_doubling"]) < 0.01
+    # Better hardware -> larger optimal t and smaller minimum error.
+    rows = result["optimum_rows"]
+    assert rows[0]["best_t_bruteforce"] < rows[-1]["best_t_bruteforce"]
+    assert rows[0]["min_block_error_bruteforce"] > rows[-1]["min_block_error_bruteforce"]

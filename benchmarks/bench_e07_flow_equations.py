@@ -1,0 +1,16 @@
+"""E07 — the concatenation flow p' = 21 p² and its 1/21 fixed point."""
+
+from repro.experiments.e07_flow_equations import run
+
+
+def test_e07_flow_equations(run_once):
+    result = run_once(run, quick=True)
+    assert result["map_below_threshold_converges"]
+    assert result["map_above_threshold_diverges"]
+    # Combinatorial MC reproduces a quadratic law with coefficient near 21
+    # (finite-p corrections pull it below the asymptotic value).
+    assert 1.5 < result["mc_exponent"] < 2.5
+    assert 4 < result["mc_coefficient"] < 40
+    # Circuit-level coefficient is much larger (many fault locations).
+    assert result["circuit_level_coefficient"] > 100
+    assert 1.5 < result["circuit_level_exponent"] < 2.5

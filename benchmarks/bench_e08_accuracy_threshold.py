@@ -1,0 +1,14 @@
+"""E08 — the accuracy threshold: counting + Monte Carlo vs the paper's
+6e-4 crude / >1e-4 conservative estimates."""
+
+from repro.experiments.e08_accuracy_threshold import run
+
+
+def test_e08_accuracy_threshold(run_once):
+    result = run_once(run, quick=True)
+    # The fault-tolerance certificate: zero single-fault logical failures.
+    assert result["counting_single_fault_logical_failures"] == 0
+    # Both estimates bracket the paper's number within its stated band.
+    assert result["both_in_band"]
+    assert 1e-4 < result["counting_threshold"] < 3e-3
+    assert 1e-5 < result["mc_pseudothreshold"] < 3e-3

@@ -1,0 +1,18 @@
+"""E09 — the §6 factoring table: 2160 logical qubits, 3e9 Toffolis,
+3 levels / block 343 / ~1e6 physical qubits."""
+
+from repro.experiments.e09_factoring_resources import run
+
+
+def test_e09_factoring_resources(run_once):
+    result = run_once(run, quick=True)
+    assert result["measured_logical_qubits"] == 2160
+    assert 2.9e9 < result["measured_toffoli_gates"] < 3.2e9
+    # With the paper's (Shor-method) flow constants: L = 3, block 343.
+    assert result["planned_levels_paper_constants"] == 3
+    assert result["planned_block_paper_constants"] == 343
+    assert 5e5 < result["planned_total_qubits_paper_constants"] < 2e6
+    # Our Steane-method constants do at least as well (fewer levels).
+    assert result["planned_levels_our_constants"] <= 3
+    # Block-55 alternative recorded for the comparison table.
+    assert result["block55_alternative"]["total_qubits"] == 4e5

@@ -1,0 +1,13 @@
+"""E10 — random (∝N) vs systematic (∝N²) error accumulation (§6)."""
+
+from repro.experiments.e10_random_vs_systematic import run
+
+
+def test_e10_random_vs_systematic(run_once):
+    result = run_once(run, quick=True)
+    assert abs(result["measured_systematic_exponent"] - 2.0) < 0.15
+    assert abs(result["measured_random_exponent"] - 1.0) < 0.15
+    # Dense simulation agrees with the closed forms.
+    for row in result["rows"]:
+        assert abs(row["systematic_dense"] - row["systematic_analytic"]) < 1e-6
+        assert abs(row["random_dense"] - row["random_analytic"]) < 0.35 * row["random_analytic"] + 1e-6

@@ -1,0 +1,11 @@
+"""E11 — Fig. 15 leakage interrogation and replacement."""
+
+from repro.experiments.e11_leakage_detection import run
+
+
+def test_e11_leakage_detection(run_once):
+    result = run_once(run, quick=True)
+    assert result["detection_always_helps"]
+    assert result["noisy_detector_still_helps"]
+    # Gains are largest when leakage dominates other error sources.
+    assert result["rows"][-1]["gain"] > 1.5

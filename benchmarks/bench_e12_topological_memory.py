@@ -1,0 +1,14 @@
+"""E12 — topological memory: e^{−mL}, e^{−Δ/T}, toric-code threshold."""
+
+from repro.experiments.e12_topological_memory import run
+
+
+def test_e12_topological_memory(run_once):
+    result = run_once(run, quick=True)
+    assert abs(result["measured_tunneling_slope"] - result["paper_tunneling_slope"]) < 0.01
+    assert abs(result["measured_boltzmann_slope"] - result["paper_boltzmann_slope"]) < 0.01
+    assert result["bigger_lattice_better_below_threshold"]
+    assert result["bigger_lattice_no_better_above_threshold"]
+    # Below threshold, the d = 7 curve must sit well under d = 3.
+    curves = result["toric_curves"]
+    assert curves[7][0]["failure"] <= curves[3][0]["failure"]

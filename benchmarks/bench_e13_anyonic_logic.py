@@ -1,0 +1,16 @@
+"""E13 — A₅ anyonic logic: Eq. 40/41, Fig. 21 NOT, interferometry,
+nonsolvability criterion."""
+
+from repro.experiments.e13_anyonic_logic import run
+
+
+def test_e13_anyonic_logic(run_once):
+    result = run_once(run, quick=True)
+    assert result["not_gate_algebraic"]
+    assert result["not_gate_compiled_depth"] == 1
+    assert result["not_gate_catalytic"]
+    assert result["a5_only_nonsolvable_leq_60"]
+    # Fault-tolerant measurement: majority error falls with probe count.
+    curve = result["interferometer_curve"]
+    assert curve[-1]["majority_error"] < curve[0]["majority_error"] / 10
+    assert result["charge_measurement"]["plus_state_always_plus"]

@@ -1,0 +1,13 @@
+"""E14 — footnote j: a 1e-3 Toffoli error rate is tolerable."""
+
+from repro.experiments.e14_toffoli_budget import run
+
+
+def test_e14_toffoli_budget(run_once):
+    result = run_once(run, quick=True)
+    assert result["footnote_j_holds"]
+    # Tolerated Toffoli rate shrinks as Clifford noise grows.
+    tolerances = [r["max_toffoli_error"] for r in result["rows"]]
+    assert tolerances == sorted(tolerances, reverse=True)
+    # The encoded gadget's accounting backs the flow calibration.
+    assert result["gadget_resources"]["ccz_locations"] == 14

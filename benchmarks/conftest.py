@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Each bench wraps one experiment runner E01–E14 (see DESIGN.md §2) in
+pytest-benchmark and asserts the paper's qualitative *shape* on the
+result — who wins, what the scaling exponent is, where the thresholds
+fall.  Benches run the experiments in ``quick`` mode so the whole harness
+finishes in minutes; EXPERIMENTS.md records a full-statistics pass.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the callable exactly once under timing (experiments are heavy
+    Monte Carlo jobs; statistical repetition happens inside them)."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return _run

@@ -1,0 +1,76 @@
+"""Anyonic logic: compute with nonabelian fluxons (paper §7.3–7.4).
+
+Walks through the whole §7.4 toolkit on A₅: calibrating flux pairs from
+charge-zero vacuum pairs, the Fig. 21 NOT gate by pull-through, charge
+interferometry distinguishing |±>, fault-tolerant readout by probe
+majority, and the group-theoretic universality table.
+"""
+
+import numpy as np
+
+from repro.topo import (
+    ChargeInterferometer,
+    FluxInterferometer,
+    FluxPairRegister,
+    PermutationGroup,
+    PullThroughCompiler,
+    toffoli_feasibility_report,
+)
+from repro.topo.gates import A5_COMPUTATIONAL_BASIS, A5_NOT_FLUX
+from repro.topo.groups import cycles
+
+
+def main() -> None:
+    a5 = PermutationGroup.alternating(5)
+    u0, u1 = A5_COMPUTATIONAL_BASIS
+    print("=== Computational encoding (Eq. 45) ===")
+    print(f"|0> = flux {cycles(u0)},  |1> = flux {cycles(u1)},  NOT flux v = {cycles(A5_NOT_FLUX)}\n")
+
+    print("=== Calibrating a flux pair from the vacuum (Eq. 44) ===")
+    reg = FluxPairRegister(a5, [u0])
+    reg.state = {(u0,): 1.0 + 0j}
+    vac = FluxPairRegister(a5, [])
+    vac.num_pairs, vac.state = 0, {(): 1.0 + 0j}
+    idx = vac.append_charge_zero_pair(u0)
+    flux = vac.measure_flux(idx, rng=7)
+    print(f"charge-zero pair over the 3-cycle class (20 fluxes); measured: {cycles(flux)}\n")
+
+    print("=== NOT gate by pull-through (Fig. 21) ===")
+    reg = FluxPairRegister(a5, [u0, A5_NOT_FLUX])
+    reg.pull_through(0, 1)
+    print(f"|0> pulled through v -> flux {cycles(reg.measure_flux(0, rng=0))} (expected {cycles(u1)})")
+    compiler = PullThroughCompiler(a5, max_depth=2)
+    gate = compiler.compile([(u0,), (u1,)], [(u1,), (u0,)], ancilla_fluxes=(A5_NOT_FLUX,))
+    print(f"compiler rediscovers it: {gate.depth} step(s), catalytic = {gate.catalytic}\n")
+
+    print("=== Charge interferometry (Fig. 22) ===")
+    plus = FluxPairRegister.from_superposition(
+        a5, {(u0,): 1 / np.sqrt(2), (u1,): 1 / np.sqrt(2)}
+    )
+    meter = ChargeInterferometer()
+    print(f"|+> measures outcome {meter.measure(plus, 0, A5_NOT_FLUX, rng=0)} (0 = +1 eigenvalue)")
+    minus = FluxPairRegister.from_superposition(
+        a5, {(u0,): 1 / np.sqrt(2), (u1,): -1 / np.sqrt(2)}
+    )
+    print(f"|-> measures outcome {meter.measure(minus, 0, A5_NOT_FLUX, rng=0)} (1 = -1 eigenvalue)\n")
+
+    print("=== Fault-tolerant flux readout by repetition (§7.3) ===")
+    noisy = FluxInterferometer(p_err=0.25, probes=51)
+    wrong = 0
+    for seed in range(50):
+        probe_reg = FluxPairRegister(a5, [u0])
+        if noisy.measure(probe_reg, 0, (u0, u1), rng=seed) != u0:
+            wrong += 1
+    print(f"25% per-probe error, 51 probes, 50 trials: {wrong} wrong readings\n")
+
+    print("=== Universality criterion (§7.4) ===")
+    report = toffoli_feasibility_report()
+    print(f"{'group':>6} | {'order':>5} | solvable | perfect")
+    for name, row in report.items():
+        print(f"{name:>6} | {row['order']:>5} | {str(row['solvable']):>8} | {row['perfect']}")
+    print("\nA5 is the smallest nonsolvable (indeed perfect) group — the unique")
+    print("candidate at order <= 60 for universal conjugation computation.")
+
+
+if __name__ == "__main__":
+    main()

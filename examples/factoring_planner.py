@@ -1,0 +1,64 @@
+"""Factoring resource planner: reproduce the paper's §6 worked example.
+
+"To perform this task with Shor's algorithm, we would need to be able to
+store about 5·432 = 2160 qubits and to perform about 38·(432)³ ≈ 3·10⁹
+Toffoli gates ... if 3 levels of concatenation are used ... the total
+number of qubits required in the machine would be of order 10⁶."
+"""
+
+from repro.threshold import FACTORING_432_BIT, FactoringProblem, plan_factoring
+from repro.threshold.resources import block55_alternative
+
+
+def show_plan(title: str, plan) -> None:
+    print(f"--- {title} ---")
+    print(f"  logical qubits:      {plan.problem.logical_qubits}")
+    print(f"  Toffoli gates:       {plan.problem.toffoli_gates:.2e}")
+    print(f"  physical error rate: {plan.physical_error:.0e}")
+    print(f"  concatenation:       L = {plan.levels} (block size {plan.block_size})")
+    print(f"  achieved error:      {plan.achieved_logical_error:.1e}")
+    print(f"  physical qubits:     {plan.total_qubits:.2e}")
+    print(f"  meets target:        {plan.meets_target()}")
+    print()
+
+
+def main() -> None:
+    # The paper's configuration: Shor-method flow constants (effective
+    # threshold ~3e-5, footnote n) against the storage budget 1e-12.
+    paper = plan_factoring(
+        FACTORING_432_BIT,
+        physical_error=1e-6,
+        threshold=3e-5,
+        target_error=1e-12,
+        ancilla_overhead=1.35,
+    )
+    show_plan("Paper configuration (432-bit number, eps = 1e-6)", paper)
+
+    # What better hardware buys (Eq. 36's doubly exponential gain).
+    better = plan_factoring(
+        FACTORING_432_BIT,
+        physical_error=1e-7,
+        threshold=3e-5,
+        target_error=1e-12,
+        ancilla_overhead=1.35,
+    )
+    show_plan("Improved hardware (eps = 1e-7)", better)
+
+    # A bigger number with the same machine class.
+    big = plan_factoring(
+        FactoringProblem(bits=1024),
+        physical_error=1e-6,
+        threshold=3e-5,
+        target_error=1e-13,
+        ancilla_overhead=1.35,
+    )
+    show_plan("RSA-1024-scale problem", big)
+
+    alt = block55_alternative()
+    print("--- Steane's block-55 alternative (ref. 48) ---")
+    print(f"  block size {alt['block_size']:.0f} correcting {alt['corrects']:.0f} errors,")
+    print(f"  gate error {alt['gate_error']:.0e}, total qubits {alt['total_qubits']:.0e}")
+
+
+if __name__ == "__main__":
+    main()

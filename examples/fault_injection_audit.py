@@ -1,0 +1,50 @@
+"""Fault-injection audit: certify a circuit fault-tolerant by enumeration.
+
+The strongest statement in the library: enumerate EVERY possible single
+fault (every location × every Pauli) in the complete Fig. 9 error-
+correction round — ancilla encoding, two-block verification, transversal
+extraction, repeated syndromes, classical post-processing — and verify
+that none causes a logical error.  Then derive the threshold the way §5
+does, by adding up the surviving fault paths.
+"""
+
+from repro.ft.cat import CatStatePrep
+from repro.noise import NoiseModel
+from repro.pauliframe import FrameSimulator
+from repro.threshold import count_fault_paths, threshold_from_counting
+from repro.threshold.counting import FullSteaneRound
+
+
+def main() -> None:
+    rnd = FullSteaneRound()
+    print("=== The complete Fig. 9 round ===")
+    print(f"qubits: {rnd.num_qubits} (7 data + 4 ancilla blocks x 21)")
+    print(f"operations: {len(rnd.circuit.operations)}")
+
+    report = count_fault_paths(rnd)
+    print("\n=== Exhaustive single-fault audit ===")
+    print(f"fault cases enumerated:  {report.total_fault_cases}")
+    print(f"benign (no residual):    {report.benign}")
+    print(f"one residual error:      {report.residual_one}")
+    print(f"multi-qubit residual:    {report.residual_multi} (X-and-Z splits; none logical)")
+    print(f"LOGICAL FAILURES:        {report.logical_failures}   <- must be 0")
+    assert report.logical_failures == 0, "fault tolerance violated!"
+
+    print("\n=== Threshold by fault-path counting (the §5 method) ===")
+    print(f"fault paths per data qubit: {report.per_qubit_paths:.1f}")
+    eps0 = threshold_from_counting(report)
+    print(f"estimated threshold eps0 = 3/(21 x paths) = {eps0:.2e}")
+    print("paper's crude estimate: 6e-4; conservative floor: 1e-4")
+
+    print("\n=== Contrast: a single fault CAN break an unverified cat ===")
+    prep = CatStatePrep((0, 1, 2, 3))  # no verification
+    circuit = prep.circuit(4, 0)
+    sim = FrameSimulator(circuit, NoiseModel())
+    chain_link = [i for i, op in enumerate(circuit) if op.gate == "CNOT"][1]
+    res = sim.run(1, seed=0, fault_injections=[(chain_link, 2, "X")])
+    print(f"X fault mid-chain leaves {int(res.fx[0].sum())} correlated bit flips "
+          f"in the cat -> two phase errors in the Shor state (the Fig. 8 danger).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Memory lifetime study: how long can a logical qubit survive?
+
+Compares four storage strategies over many EC rounds at fixed hardware
+quality: bare qubit, ideal-recovery Steane (§2), circuit-level Steane-
+method EC (Fig. 9), and circuit-level Shor-method EC — then shows the §7.1
+topological alternative where lifetime is bought with quasiparticle
+separation instead of active recovery.
+"""
+
+from repro import LogicalMemory, UnencodedMemory
+from repro.topo import TopologicalErrorModel
+
+
+def main() -> None:
+    eps = 1e-4
+    rounds = 5
+    shots = 30_000
+    print(f"=== Active error correction at eps = {eps}, {rounds} rounds ===")
+    bare = UnencodedMemory(eps).run(rounds, 200_000, seed=0)
+    rows = [("bare qubit", bare)]
+    for label, kwargs in [
+        ("Steane / ideal recovery", dict(code="steane", method="ideal")),
+        ("Steane / Steane-method EC", dict(code="steane", method="steane")),
+        ("Steane / Shor-method EC", dict(code="steane", method="shor")),
+    ]:
+        mem = LogicalMemory(eps=eps, **kwargs)
+        rows.append((label, mem.run(rounds, shots, seed=1)))
+    print(f"{'strategy':<28} | {'fail prob':>10} | {'per round':>10}")
+    print("-" * 56)
+    for label, res in rows:
+        print(f"{label:<28} | {res.failure_rate:10.2e} | {res.per_round_rate:10.2e}")
+
+    print("\n=== Passive (topological) storage: lifetime vs separation ===")
+    model = TopologicalErrorModel(mass=1.0, gap=1.0)
+    print(f"{'separation L':>12} | {'error rate/step':>16} | {'mean lifetime':>14}")
+    print("-" * 50)
+    for L in (2.0, 4.0, 6.0, 8.0):
+        rate = model.tunneling_error_rate(L)
+        life = model.memory_lifetime(L, temperature=0.0, trials=256, seed=int(L))
+        print(f"{L:12.1f} | {rate:16.2e} | {life:14.3e}")
+    print("\nEach extra unit of separation multiplies the lifetime by e^{2m} ~ 7.4:")
+    print("fault tolerance built into the hardware, no recovery circuit at all (§7).")
+
+
+if __name__ == "__main__":
+    main()

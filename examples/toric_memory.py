@@ -1,0 +1,45 @@
+"""Topological memory: the Kitaev lattice model as a quantum hard drive.
+
+Builds toric codes of growing size, checks the §7.1 structural facts
+(commuting 4-body terms, 4-fold ground-space degeneracy, the −1 braiding
+phase of Fig. 16), then sweeps the error rate through the decoder
+threshold: below it, a bigger lattice stores the qubit better.
+"""
+
+import numpy as np
+
+from repro.topo import ToricCode, toric_memory_experiment
+
+
+def main() -> None:
+    print("=== Kitaev lattice model structure (Fig. 17) ===")
+    code = ToricCode(5)
+    print(f"d=5 torus: {code.n} edge spins, "
+          f"{code.vertex_checks.shape[0]} site terms, "
+          f"{code.plaquette_checks.shape[0]} plaquette terms")
+    print(f"all terms commute: {code.check_commutation()}")
+    print(f"ground-space dimension: {code.ground_space_dimension()} (two encoded qubits)\n")
+
+    print("=== Aharonov-Bohm braiding (Fig. 16) ===")
+    x_string = np.zeros(code.n, dtype=np.uint8)
+    x_string[code.v_edge(1, 2)] = 1  # fluxon pair at plaquettes (1,1), (1,2)
+    enclosing = code.charge_loop_operator(1, 1)
+    distant = code.charge_loop_operator(3, 3)
+    print(f"charge loop around a fluxon: phase {code.braiding_phase(enclosing, x_string):+d}")
+    print(f"charge loop far away:        phase {code.braiding_phase(distant, x_string):+d}\n")
+
+    print("=== Memory threshold sweep (MWPM decoder) ===")
+    shots = 1500
+    print(f"{'p':>6} | " + " | ".join(f"d={d:>2}" for d in (3, 5, 7)))
+    print("-" * 36)
+    for i, p in enumerate([0.02, 0.06, 0.10, 0.14]):
+        rates = [
+            toric_memory_experiment(d, p, shots, seed=100 * i + d).failure_rate
+            for d in (3, 5, 7)
+        ]
+        print(f"{p:6.2f} | " + " | ".join(f"{r:.3f}" for r in rates))
+    print("\nBelow ~0.10 the columns fall with d (coding helps); above, they rise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Run every experiment at full statistics and dump JSON for EXPERIMENTS.md."""
+import json, time
+from repro.experiments import ALL_EXPERIMENTS
+
+results = {}
+for name, runner in ALL_EXPERIMENTS.items():
+    t0 = time.time()
+    results[name] = runner(quick=False)
+    results[name]["_runtime_seconds"] = round(time.time() - t0, 1)
+    print(f"{name} done in {results[name]['_runtime_seconds']}s", flush=True)
+with open("/root/repo/full_results.json", "w") as fh:
+    json.dump(results, fh, indent=1, default=str)
+print("ALL DONE")

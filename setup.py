@@ -1,0 +1,7 @@
+"""Legacy setup shim: the environment's setuptools predates PEP 660
+editable wheels, so `pip install -e .` needs a setup.py entry point.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

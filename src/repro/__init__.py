@@ -1,0 +1,28 @@
+"""repro — a from-scratch reproduction of Preskill's *Fault-Tolerant
+Quantum Computation* (quant-ph/9712048).
+
+Subpackages, bottom-up:
+
+* :mod:`repro.gf2` / :mod:`repro.classical` — binary linear algebra and the
+  classical coding substrate (Hamming [7,4,3], majority voting, von
+  Neumann multiplexing);
+* :mod:`repro.paulis` / :mod:`repro.circuits` — Pauli algebra and the
+  circuit IR shared by all simulators;
+* :mod:`repro.statevector` / :mod:`repro.stabilizer` /
+  :mod:`repro.pauliframe` — the three simulation backends (exact dense,
+  CHP tableau, vectorized error-frame Monte Carlo);
+* :mod:`repro.noise` — the §6 error models (stochastic, coherent, leakage);
+* :mod:`repro.codes` — Steane [[7,1,3]], five-qubit, Shor-9, repetition,
+  quantum Hamming family, concatenation;
+* :mod:`repro.ft` — the fault-tolerant gadget toolbox of §3–§4;
+* :mod:`repro.threshold` — flow equations, scaling laws, fault-path
+  counting, Monte-Carlo thresholds, factoring resources (§5–§6);
+* :mod:`repro.topo` — topological quantum computation (§7);
+* :mod:`repro.core` — the high-level user API.
+"""
+
+from repro.core import FaultTolerancePlanner, LogicalMemory, UnencodedMemory
+
+__version__ = "1.0.0"
+
+__all__ = ["FaultTolerancePlanner", "LogicalMemory", "UnencodedMemory", "__version__"]

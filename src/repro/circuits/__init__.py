@@ -1,0 +1,23 @@
+"""Quantum circuit intermediate representation.
+
+Circuits are flat sequences of typed operations over integer qubit and
+classical-bit indices.  The same IR drives the dense statevector simulator
+(exact validation), the stabilizer tableau (Clifford-scale checks), and the
+vectorized Pauli-frame Monte Carlo engine (threshold estimation), so every
+fault-tolerant gadget in `repro.ft` is built once and executed everywhere.
+"""
+
+from repro.circuits.gates import GATES, GateSpec, is_clifford
+from repro.circuits.circuit import Circuit, Operation
+from repro.circuits.analysis import circuit_depth, gate_counts, resource_summary
+
+__all__ = [
+    "GATES",
+    "GateSpec",
+    "is_clifford",
+    "Circuit",
+    "Operation",
+    "circuit_depth",
+    "gate_counts",
+    "resource_summary",
+]

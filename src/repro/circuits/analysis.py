@@ -1,0 +1,87 @@
+"""Static circuit resource analysis.
+
+Experiment E05 compares the Shor and Steane extraction methods by their
+stated costs — "24 ancilla bits and 24 XOR gates" vs "14 ancilla bits and 14
+XOR gates" (§3.3) — so the library must be able to count resources from the
+constructed circuits rather than quoting the paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import GATES
+
+__all__ = ["gate_counts", "circuit_depth", "resource_summary", "count_error_locations"]
+
+
+def gate_counts(circuit: Circuit) -> dict[str, int]:
+    """Histogram of gate names (TICKs excluded)."""
+    counts: Counter[str] = Counter()
+    for op in circuit:
+        if op.gate != "TICK":
+            counts[op.gate] += 1
+    return dict(counts)
+
+
+def circuit_depth(circuit: Circuit) -> int:
+    """Greedy as-soon-as-possible depth over qubit conflicts.
+
+    Measurement/reset count as depth-1 operations; TICKs force a global
+    layer boundary (they model a storage time step).
+    """
+    frontier: dict[int, int] = {}
+    depth = 0
+    floor = 0
+    for op in circuit:
+        if op.gate == "TICK":
+            floor = depth
+            continue
+        start = floor
+        for q in op.qubits:
+            start = max(start, frontier.get(q, 0))
+        layer = start + 1
+        for q in op.qubits:
+            frontier[q] = layer
+        depth = max(depth, layer)
+    return depth
+
+
+def count_error_locations(circuit: Circuit) -> dict[str, int]:
+    """Count fault locations in the §5/§6 sense.
+
+    Every gate application is one location; a TICK adds one storage location
+    per qubit.  Measurements and resets are locations too (the paper's
+    threshold counting includes faulty measurement and preparation).
+    """
+    locations = {"gate": 0, "two_qubit": 0, "measure": 0, "prepare": 0, "storage": 0}
+    for op in circuit:
+        if op.gate == "TICK":
+            locations["storage"] += circuit.num_qubits
+        elif op.gate in ("M", "MX"):
+            locations["measure"] += 1
+        elif op.gate == "R":
+            locations["prepare"] += 1
+        else:
+            locations["gate"] += 1
+            if len(op.qubits) >= 2:
+                locations["two_qubit"] += 1
+    return locations
+
+
+def resource_summary(circuit: Circuit) -> dict[str, object]:
+    """One-stop summary used by benches and EXPERIMENTS.md tables."""
+    counts = gate_counts(circuit)
+    touched = {q for op in circuit for q in op.qubits}
+    return {
+        "name": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "qubits_touched": len(touched),
+        "depth": circuit_depth(circuit),
+        "gate_counts": counts,
+        "cnot_count": counts.get("CNOT", 0),
+        "measurement_count": counts.get("M", 0) + counts.get("MX", 0),
+        "total_operations": sum(counts.values()),
+        "error_locations": count_error_locations(circuit),
+    }

@@ -1,0 +1,190 @@
+"""Circuit container: a flat, append-only list of operations.
+
+Classical control is expressed through ``condition``: an operation carrying
+a nonempty condition tuple executes only when the XOR (parity) of the named
+classical bits is 1.  That is exactly the control structure of the paper's
+fault-tolerant gadgets — e.g. Fig. 13's "the arrow points to the set of
+gates that is to be applied if the measurement outcome is 1", and the
+parity-of-four-ancilla-bits readout of the Shor-state method (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.circuits.gates import GATES
+
+__all__ = ["Operation", "Circuit"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One gate/measurement/reset application.
+
+    Attributes
+    ----------
+    gate: name registered in :data:`repro.circuits.gates.GATES`.
+    qubits: target qubit indices (control first for controlled gates,
+        matching Fig. 1's source/target convention).
+    cbits: classical bits written (measurements) — one per measured qubit.
+    condition: classical bits whose parity gates execution.
+    tag: free-form label used by noise models and resource analysis to
+        distinguish locations (e.g. "anc_prep", "verify", "data").
+    """
+
+    gate: str
+    qubits: tuple[int, ...]
+    cbits: tuple[int, ...] = ()
+    condition: tuple[int, ...] = ()
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        spec = GATES.get(self.gate)
+        if spec is None:
+            raise ValueError(f"unknown gate {self.gate!r}")
+        if spec.num_qubits and len(self.qubits) != spec.num_qubits:
+            raise ValueError(
+                f"{self.gate} acts on {spec.num_qubits} qubit(s), got {self.qubits}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubit in {self.gate} on {self.qubits}")
+        if self.gate in ("M", "MX") and len(self.cbits) != 1:
+            raise ValueError("measurements must write exactly one classical bit")
+
+
+@dataclass
+class Circuit:
+    """An ordered program over ``num_qubits`` qubits and ``num_cbits`` bits.
+
+    The container is deliberately minimal: composition, qubit remapping, and
+    the builder-style ``append`` helpers below.  Simulation semantics live in
+    the simulator packages.
+    """
+
+    num_qubits: int
+    num_cbits: int = 0
+    operations: list[Operation] = field(default_factory=list)
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def _check_qubits(self, qubits: Iterable[int]) -> None:
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise IndexError(f"qubit {q} out of range [0, {self.num_qubits})")
+
+    def _check_cbits(self, cbits: Iterable[int]) -> None:
+        for c in cbits:
+            if not 0 <= c < self.num_cbits:
+                raise IndexError(f"classical bit {c} out of range [0, {self.num_cbits})")
+
+    def append(
+        self,
+        gate: str,
+        *qubits: int,
+        cbits: tuple[int, ...] = (),
+        condition: tuple[int, ...] = (),
+        tag: str = "",
+    ) -> "Circuit":
+        """Append an operation; returns self for chaining."""
+        op = Operation(gate, tuple(qubits), tuple(cbits), tuple(condition), tag)
+        self._check_qubits(op.qubits)
+        self._check_cbits(op.cbits)
+        self._check_cbits(op.condition)
+        self.operations.append(op)
+        return self
+
+    # Convenience wrappers keep gadget-construction code readable.
+    def h(self, q: int, **kw: object) -> "Circuit":
+        return self.append("H", q, **kw)  # type: ignore[arg-type]
+
+    def x(self, q: int, **kw: object) -> "Circuit":
+        return self.append("X", q, **kw)  # type: ignore[arg-type]
+
+    def y(self, q: int, **kw: object) -> "Circuit":
+        return self.append("Y", q, **kw)  # type: ignore[arg-type]
+
+    def z(self, q: int, **kw: object) -> "Circuit":
+        return self.append("Z", q, **kw)  # type: ignore[arg-type]
+
+    def s(self, q: int, **kw: object) -> "Circuit":
+        return self.append("S", q, **kw)  # type: ignore[arg-type]
+
+    def sdg(self, q: int, **kw: object) -> "Circuit":
+        return self.append("SDG", q, **kw)  # type: ignore[arg-type]
+
+    def cnot(self, control: int, target: int, **kw: object) -> "Circuit":
+        return self.append("CNOT", control, target, **kw)  # type: ignore[arg-type]
+
+    def cz(self, a: int, b: int, **kw: object) -> "Circuit":
+        return self.append("CZ", a, b, **kw)  # type: ignore[arg-type]
+
+    def ccx(self, c1: int, c2: int, target: int, **kw: object) -> "Circuit":
+        return self.append("CCX", c1, c2, target, **kw)  # type: ignore[arg-type]
+
+    def measure(self, q: int, cbit: int, **kw: object) -> "Circuit":
+        return self.append("M", q, cbits=(cbit,), **kw)  # type: ignore[arg-type]
+
+    def measure_x(self, q: int, cbit: int, **kw: object) -> "Circuit":
+        return self.append("MX", q, cbits=(cbit,), **kw)  # type: ignore[arg-type]
+
+    def reset(self, q: int, **kw: object) -> "Circuit":
+        return self.append("R", q, **kw)  # type: ignore[arg-type]
+
+    def tick(self) -> "Circuit":
+        self.operations.append(Operation("TICK", ()))
+        return self
+
+    # ------------------------------------------------------------------
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Append ``other``'s operations (indices must already align)."""
+        if other.num_qubits > self.num_qubits or other.num_cbits > self.num_cbits:
+            raise ValueError("composed circuit exceeds this circuit's registers")
+        self.operations.extend(other.operations)
+        return self
+
+    def remapped(
+        self,
+        qubit_map: dict[int, int],
+        cbit_map: dict[int, int] | None = None,
+        num_qubits: int | None = None,
+        num_cbits: int | None = None,
+    ) -> "Circuit":
+        """A copy with qubit (and classical bit) indices relabeled.
+
+        Used to embed a gadget built on local indices into a larger
+        register, e.g. placing the 7-qubit encoder on block 2 of 3.
+        """
+        cmap = cbit_map or {}
+        nq = num_qubits if num_qubits is not None else self.num_qubits
+        nc = num_cbits if num_cbits is not None else self.num_cbits
+        out = Circuit(nq, nc, name=self.name)
+        for op in self.operations:
+            out.append(
+                op.gate,
+                *[qubit_map.get(q, q) for q in op.qubits],
+                cbits=tuple(cmap.get(c, c) for c in op.cbits),
+                condition=tuple(cmap.get(c, c) for c in op.condition),
+                tag=op.tag,
+            )
+        return out
+
+    def copy(self) -> "Circuit":
+        out = Circuit(self.num_qubits, self.num_cbits, name=self.name)
+        out.operations = list(self.operations)
+        return out
+
+    def measured_cbits(self) -> list[int]:
+        return [op.cbits[0] for op in self.operations if op.gate in ("M", "MX")]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit({self.name or 'unnamed'}, qubits={self.num_qubits}, "
+            f"cbits={self.num_cbits}, ops={len(self.operations)})"
+        )

@@ -1,0 +1,102 @@
+"""The gate vocabulary (paper Fig. 1 plus the standard Clifford set).
+
+The paper's circuits use NOT, XOR (controlled-NOT), Toffoli
+(controlled-controlled-NOT), the Hadamard rotation R (Eq. 9), the phase gate
+P (Eq. 22), and single-qubit measurements/preparations.  We register each
+gate's arity and unitary matrix once; simulators dispatch on the name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GateSpec", "GATES", "is_clifford", "gate_matrix"]
+
+_SQ2 = 1.0 / np.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type.
+
+    Attributes
+    ----------
+    name: canonical upper-case mnemonic.
+    num_qubits: arity (0 for pseudo-ops like TICK).
+    clifford: whether the gate normalizes the Pauli group (propagates
+        Pauli frames linearly; non-Clifford gates are handled specially).
+    unitary: dense matrix for the statevector simulator, or ``None`` for
+        non-unitary ops (measure/reset) and pseudo-ops.
+    """
+
+    name: str
+    num_qubits: int
+    clifford: bool
+    unitary: np.ndarray | None
+
+
+def _u(mat: list[list[complex]]) -> np.ndarray:
+    return np.array(mat, dtype=complex)
+
+
+_H = _u([[_SQ2, _SQ2], [_SQ2, -_SQ2]])
+_X = _u([[0, 1], [1, 0]])
+_Y = _u([[0, -1j], [1j, 0]])
+_Z = _u([[1, 0], [0, -1]])
+_S = _u([[1, 0], [0, 1j]])
+_SDG = _u([[1, 0], [0, -1j]])
+# R' of Eq. (20): rotates Y-type checks into Z-type for syndrome readout.
+_RPRIME = _SQ2 * _u([[1, 1j], [1j, 1]])
+_T = _u([[1, 0], [0, np.exp(1j * np.pi / 4)]])
+
+_CNOT = np.eye(4, dtype=complex)[[0, 1, 3, 2]]
+_CZ = np.diag([1, 1, 1, -1]).astype(complex)
+_SWAP = np.eye(4, dtype=complex)[[0, 2, 1, 3]]
+_CCX = np.eye(8, dtype=complex)[[0, 1, 2, 3, 4, 5, 7, 6]]
+_CCZ = np.diag([1, 1, 1, 1, 1, 1, 1, -1]).astype(complex)
+_CY = np.eye(4, dtype=complex)
+_CY[2:, 2:] = _Y
+
+GATES: dict[str, GateSpec] = {
+    spec.name: spec
+    for spec in [
+        GateSpec("I", 1, True, np.eye(2, dtype=complex)),
+        GateSpec("X", 1, True, _X),
+        GateSpec("Y", 1, True, _Y),
+        GateSpec("Z", 1, True, _Z),
+        GateSpec("H", 1, True, _H),
+        GateSpec("S", 1, True, _S),
+        GateSpec("SDG", 1, True, _SDG),
+        GateSpec("RPRIME", 1, True, _RPRIME),
+        GateSpec("T", 1, False, _T),
+        GateSpec("CNOT", 2, True, _CNOT),
+        GateSpec("CZ", 2, True, _CZ),
+        GateSpec("CY", 2, True, _CY),
+        GateSpec("SWAP", 2, True, _SWAP),
+        GateSpec("CCX", 3, False, _CCX),
+        GateSpec("CCZ", 3, False, _CCZ),
+        # Non-unitary / pseudo operations.
+        GateSpec("M", 1, True, None),      # destructive Z-basis measurement
+        GateSpec("MX", 1, True, None),     # X-basis measurement
+        GateSpec("R", 1, True, None),      # reset to |0>
+        GateSpec("TICK", 0, True, None),   # time-step barrier (storage noise)
+    ]
+}
+
+
+def is_clifford(name: str) -> bool:
+    spec = GATES.get(name)
+    if spec is None:
+        raise KeyError(f"unknown gate {name!r}")
+    return spec.clifford
+
+
+def gate_matrix(name: str) -> np.ndarray:
+    spec = GATES.get(name)
+    if spec is None:
+        raise KeyError(f"unknown gate {name!r}")
+    if spec.unitary is None:
+        raise ValueError(f"gate {name!r} has no unitary matrix")
+    return spec.unitary

@@ -1,0 +1,23 @@
+"""Classical coding substrate.
+
+The paper's quantum constructions rest on classical ones: Steane's [[7,1,3]]
+code is built from the [7,4,3] Hamming code (§2), syndrome verification uses
+classical parity checks, destructive logical measurement performs classical
+Hamming decoding on the measured bits (§3.5), and the whole program is an
+analogue of von Neumann's 1952 majority-vote fault tolerance (§1).
+"""
+
+from repro.classical.hamming import HammingCode
+from repro.classical.linear_code import LinearCode, RepetitionCode
+from repro.classical.majority import majority_vote, recursive_majority_failure
+from repro.classical.vonneumann import NoisyGateModel, simulate_multiplexed_nand
+
+__all__ = [
+    "HammingCode",
+    "LinearCode",
+    "RepetitionCode",
+    "majority_vote",
+    "recursive_majority_failure",
+    "NoisyGateModel",
+    "simulate_multiplexed_nand",
+]

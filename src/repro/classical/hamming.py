@@ -1,0 +1,102 @@
+"""The [7,4,3] Hamming code (paper §2, Eqs. 1–3 and 15).
+
+Steane's 7-qubit code is built directly on this classical code: the logical
+|0> is the superposition of even-weight Hamming codewords (Eq. 6) and the
+logical |1> of odd-weight codewords (Eq. 7).  The paper uses two column
+orderings of the parity-check matrix — the "syndrome = binary position"
+form of Eq. (1) and the systematic form of Eq. (15) used by the encoding
+circuit of Fig. 3 — both are provided here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classical.linear_code import LinearCode
+
+__all__ = ["HammingCode", "H_EQ1", "H_EQ15"]
+
+# Eq. (1): column i (1-indexed) is the binary representation of i, so the
+# syndrome of a single bit-flip at position i literally reads out i.
+H_EQ1 = np.array(
+    [
+        [0, 0, 0, 1, 1, 1, 1],
+        [0, 1, 1, 0, 0, 1, 1],
+        [1, 0, 1, 0, 1, 0, 1],
+    ],
+    dtype=np.uint8,
+)
+
+# Eq. (15): a column permutation of Eq. (1) in systematic form [I | P]; the
+# first three bits characterize the even subcode and the last four are
+# parity bits.  This is the form Fig. 3's encoder switches on.
+H_EQ15 = np.array(
+    [
+        [1, 0, 0, 1, 0, 1, 1],
+        [0, 1, 0, 1, 1, 0, 1],
+        [0, 0, 1, 1, 1, 1, 0],
+    ],
+    dtype=np.uint8,
+)
+
+
+class HammingCode(LinearCode):
+    """The [7,4,3] Hamming code with single-error syndrome decoding.
+
+    Parameters
+    ----------
+    form:
+        ``"eq1"`` for the position-readout parity check of Eq. (1) or
+        ``"eq15"`` for the systematic form of Eq. (15).
+    """
+
+    def __init__(self, form: str = "eq1") -> None:
+        if form == "eq1":
+            h = H_EQ1
+        elif form == "eq15":
+            h = H_EQ15
+        else:
+            raise ValueError(f"unknown form {form!r}; use 'eq1' or 'eq15'")
+        super().__init__(h, name=f"Hamming[7,4,3]/{form}")
+        self.form = form
+
+    def error_position(self, word: np.ndarray) -> int | None:
+        """Locate a single bit flip: the column of H matching the syndrome.
+
+        Returns the 0-indexed flipped position, or ``None`` when the
+        syndrome is trivial (no detected error).  With the Eq. (1) form the
+        syndrome, read as a binary number, *is* the 1-indexed position —
+        that is the property the paper highlights after Eq. (3).
+        """
+        s = self.syndrome(word).ravel()
+        if not s.any():
+            return None
+        matches = np.nonzero((self.h == s[:, np.newaxis]).all(axis=0))[0]
+        # Every nonzero syndrome is a column of H for the Hamming code.
+        return int(matches[0])
+
+    def correct_single(self, word: np.ndarray) -> np.ndarray:
+        """Flip back the (unique) bit indicated by the syndrome."""
+        w = np.asarray(word).astype(np.uint8).ravel() & 1
+        pos = self.error_position(w)
+        if pos is None:
+            return w.copy()
+        out = w.copy()
+        out[pos] ^= 1
+        return out
+
+    def even_codewords(self) -> np.ndarray:
+        """The 8 even-weight codewords — the support of |0>_code (Eq. 6)."""
+        words = self.codewords()
+        return words[words.sum(axis=1) % 2 == 0]
+
+    def odd_codewords(self) -> np.ndarray:
+        """The 8 odd-weight codewords — the support of |1>_code (Eq. 7)."""
+        words = self.codewords()
+        return words[words.sum(axis=1) % 2 == 1]
+
+    def logical_value(self, word: np.ndarray) -> int:
+        """Destructive logical measurement (§3.5): classically correct the
+        measured 7 bits, then report the parity of the corrected codeword."""
+        corrected = self.correct_single(word)
+        return int(corrected.sum() % 2)

@@ -1,0 +1,154 @@
+"""Generic binary linear block codes.
+
+A ``LinearCode`` is specified by a parity-check matrix H (and optionally a
+generator matrix G).  It supports encoding, syndrome computation, nearest-
+codeword decoding via a precomputed syndrome table (practical for the code
+sizes in this project), and exact minimum-distance computation for small
+codes.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.gf2 import gf2_kernel, gf2_matmul, gf2_rank, gf2_row_reduce
+
+__all__ = ["LinearCode", "RepetitionCode"]
+
+
+class LinearCode:
+    """A binary [n, k] linear code defined by its parity-check matrix.
+
+    Parameters
+    ----------
+    parity_check:
+        Array of shape ``(n - k, n)`` (redundant rows are tolerated; the
+        effective k is computed from the rank).
+    name:
+        Optional human-readable label used in reprs and reports.
+    """
+
+    def __init__(self, parity_check: np.ndarray, name: str = "") -> None:
+        h = np.asarray(parity_check).astype(np.uint8) & 1
+        if h.ndim != 2:
+            raise ValueError("parity_check must be a 2-D array")
+        self.h = h
+        self.n = int(h.shape[1])
+        self.rank = gf2_rank(h)
+        self.k = self.n - self.rank
+        self.name = name or f"[{self.n},{self.k}]"
+        # Generator: basis of ker(H), one codeword per row.
+        self.g = gf2_kernel(h)
+        self._syndrome_table: dict[tuple[int, ...], np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearCode({self.name}, n={self.n}, k={self.k})"
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Encode a length-k message into a length-n codeword (G^T action)."""
+        msg = np.asarray(message).astype(np.uint8).ravel() & 1
+        if msg.shape[0] != self.k:
+            raise ValueError(f"message must have length k={self.k}")
+        return gf2_matmul(msg, self.g).astype(np.uint8)
+
+    def syndrome(self, word: np.ndarray) -> np.ndarray:
+        """Syndrome H·w (mod 2).  Accepts a single word or a batch.
+
+        For a batch of shape ``(batch, n)`` returns ``(batch, n - k)``.
+        """
+        w = np.asarray(word).astype(np.uint8) & 1
+        return gf2_matmul(w, self.h.T).astype(np.uint8)
+
+    def is_codeword(self, word: np.ndarray) -> bool:
+        return not np.any(self.syndrome(word))
+
+    def codewords(self) -> np.ndarray:
+        """All 2^k codewords, shape ``(2**k, n)`` (small codes only)."""
+        if self.k > 20:
+            raise ValueError("too many codewords to enumerate")
+        msgs = ((np.arange(2**self.k)[:, np.newaxis] >> np.arange(self.k)) & 1).astype(np.uint8)
+        return gf2_matmul(msgs, self.g).astype(np.uint8)
+
+    def minimum_distance(self) -> int:
+        """Exact minimum Hamming weight over nonzero codewords."""
+        words = self.codewords()
+        weights = words.sum(axis=1)
+        nz = weights[weights > 0]
+        if nz.size == 0:
+            raise ValueError("code has no nonzero codewords")
+        return int(nz.min())
+
+    # ------------------------------------------------------------------
+    def _build_syndrome_table(self, max_weight: int) -> dict[tuple[int, ...], np.ndarray]:
+        """Map syndrome -> minimum-weight error pattern, up to max_weight."""
+        table: dict[tuple[int, ...], np.ndarray] = {}
+        zero = np.zeros(self.n, dtype=np.uint8)
+        table[tuple(self.syndrome(zero).ravel())] = zero
+        for w in range(1, max_weight + 1):
+            for positions in combinations(range(self.n), w):
+                err = np.zeros(self.n, dtype=np.uint8)
+                err[list(positions)] = 1
+                key = tuple(self.syndrome(err).ravel())
+                if key not in table:
+                    table[key] = err
+        return table
+
+    def correctable_weight(self) -> int:
+        """t = floor((d - 1) / 2) for the exact minimum distance."""
+        return (self.minimum_distance() - 1) // 2
+
+    def decode(self, word: np.ndarray, max_weight: int | None = None) -> np.ndarray:
+        """Correct ``word`` to the nearest codeword via syndrome lookup.
+
+        ``max_weight`` bounds the error patterns in the table (defaults to
+        the code's correctable weight).  Unmatched syndromes return the word
+        unchanged — the caller can detect this via :meth:`is_codeword`.
+        """
+        if max_weight is None:
+            max_weight = self.correctable_weight()
+        if self._syndrome_table is None:
+            self._syndrome_table = self._build_syndrome_table(max_weight)
+        w = np.asarray(word).astype(np.uint8).ravel() & 1
+        key = tuple(self.syndrome(w).ravel())
+        err = self._syndrome_table.get(key)
+        if err is None:
+            return w.copy()
+        return w ^ err
+
+    def dual(self) -> "LinearCode":
+        """The dual code: codewords are the rows of H's row space, so the
+        dual's parity check matrix is this code's generator matrix."""
+        return LinearCode(self.g, name=f"dual({self.name})")
+
+    def contains_dual(self) -> bool:
+        """Whether C⊥ ⊆ C, i.e. every row of H is itself a codeword.
+
+        This is the condition for building a self-dual-style CSS code (the
+        Steane construction uses the Hamming code, which satisfies it).
+        """
+        return not np.any(self.syndrome(self.h))
+
+    def standard_form_generator(self) -> np.ndarray:
+        """Generator in RREF — convenient for systematic encoding."""
+        rref, pivots = gf2_row_reduce(self.g)
+        return rref[: len(pivots)]
+
+
+class RepetitionCode(LinearCode):
+    """The [n, 1, n] repetition code — the simplest majority-vote code.
+
+    Used both as a classical substrate (von Neumann voting, §1) and as the
+    classical ingredient of quantum bit-flip/phase-flip codes.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError("repetition code needs n >= 2")
+        h = np.zeros((n - 1, n), dtype=np.uint8)
+        for i in range(n - 1):
+            h[i, 0] = 1
+            h[i, i + 1] = 1
+        super().__init__(h, name=f"rep{n}")

@@ -1,0 +1,76 @@
+"""Majority voting and recursive-majority reliability (paper §1).
+
+Von Neumann's observation: executing each gate many times and taking a
+majority vote suppresses independent failures, provided the per-gate failure
+probability is below a threshold.  The recursion here is the classical
+ancestor of the concatenated-code flow equation (Eq. 33): a triple-modular
+vote fails when at least 2 of 3 inputs fail,
+
+    p' = 3 p^2 (1 - p) + p^3 = 3 p^2 - 2 p^3,
+
+with fixed point p* = 1/2.  Including a noisy voter with failure rate eps,
+p' = eps + (3 p^2 - 2 p^3), whose threshold drops below 1/2 — the same
+structure as the quantum threshold analysis in §5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import as_rng
+
+__all__ = ["majority_vote", "majority_failure", "recursive_majority_failure", "simulate_majority"]
+
+
+def majority_vote(bits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Bitwise majority along ``axis`` (ties broken toward 1 for even n)."""
+    arr = np.asarray(bits).astype(np.int64)
+    n = arr.shape[axis]
+    return (arr.sum(axis=axis) * 2 >= n).astype(np.uint8)
+
+
+def majority_failure(p: float, n: int = 3) -> float:
+    """Exact probability that a majority of n independent components fail,
+    each with probability p (n odd)."""
+    if n % 2 == 0:
+        raise ValueError("majority vote needs odd n")
+    from math import comb
+
+    return float(sum(comb(n, k) * p**k * (1 - p) ** (n - k) for k in range((n + 1) // 2, n + 1)))
+
+
+def recursive_majority_failure(p: float, levels: int, n: int = 3, voter_error: float = 0.0) -> float:
+    """Failure probability after ``levels`` of recursive n-fold voting.
+
+    ``voter_error`` adds an independent failure of the voting gate itself at
+    every level (von Neumann's noisy-majority organ).  The map is iterated
+    ``levels`` times; level 0 returns ``p`` unchanged.
+    """
+    q = float(p)
+    for _ in range(levels):
+        q = min(1.0, voter_error + majority_failure(q, n))
+    return q
+
+
+def simulate_majority(
+    p: float,
+    levels: int,
+    trials: int,
+    n: int = 3,
+    voter_error: float = 0.0,
+    seed: int | np.random.Generator | None = None,
+) -> float:
+    """Monte Carlo check of :func:`recursive_majority_failure`.
+
+    Builds a depth-``levels`` n-ary voting tree over i.i.d. leaf failures and
+    returns the observed root failure rate.
+    """
+    rng = as_rng(seed)
+    width = n**levels
+    state = (rng.random((trials, width)) < p).astype(np.uint8)
+    for _ in range(levels):
+        grouped = state.reshape(trials, -1, n)
+        state = majority_vote(grouped, axis=2)
+        if voter_error > 0:
+            state ^= (rng.random(state.shape) < voter_error).astype(np.uint8)
+    return float(state.ravel().mean())

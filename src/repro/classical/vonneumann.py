@@ -1,0 +1,132 @@
+"""Von Neumann NAND multiplexing (paper §1).
+
+Von Neumann (1952) showed that a circuit of noisy gates can compute reliably
+if each logical wire is carried by a *bundle* of N physical wires and each
+logical NAND is executed by N physical NANDs on a random pairing of the two
+input bundles, followed by a restorative stage.  A bundle represents logical
+0/1 when at most a fraction Δ of its wires are wrong.
+
+This module provides a vectorized Monte Carlo of the multiplexed NAND organ:
+it tracks the *excitation fraction* of each bundle through executive and
+restorative stages with per-gate flip probability ``eps`` and reports whether
+the output bundle stays within the decision threshold.  It exists as the
+classical reference point for the quantum threshold story: a threshold in
+``eps`` below which deeper circuits keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import as_rng
+
+__all__ = ["NoisyGateModel", "simulate_multiplexed_nand", "nand_fixed_points"]
+
+
+@dataclass(frozen=True)
+class NoisyGateModel:
+    """Error model for the classical substrate.
+
+    Attributes
+    ----------
+    eps:
+        Probability that a physical NAND emits the wrong output bit.
+    bundle_size:
+        Number of physical wires per logical bundle (von Neumann's N).
+    threshold:
+        Decision fraction Δ: a bundle decodes to 1 when more than
+        ``1 - threshold`` of its wires are 1, to 0 when fewer than
+        ``threshold`` are, and is *ambiguous* in between.
+    """
+
+    eps: float
+    bundle_size: int = 100
+    threshold: float = 0.07
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.eps <= 1.0:
+            raise ValueError("eps must be a probability")
+        if self.bundle_size < 1:
+            raise ValueError("bundle_size must be positive")
+        if not 0.0 < self.threshold < 0.5:
+            raise ValueError("threshold must lie in (0, 0.5)")
+
+
+def _noisy_nand(a: np.ndarray, b: np.ndarray, eps: float, rng: np.random.Generator) -> np.ndarray:
+    out = 1 - (a & b)
+    flips = (rng.random(out.shape) < eps).astype(np.uint8)
+    return out ^ flips
+
+
+def _multiplexed_stage(
+    a: np.ndarray, b: np.ndarray, eps: float, rng: np.random.Generator
+) -> np.ndarray:
+    """One executive NAND stage: random permutation pairing, then NAND."""
+    perm = rng.permutation(a.shape[-1])
+    return _noisy_nand(a, b[..., perm], eps, rng)
+
+
+def simulate_multiplexed_nand(
+    model: NoisyGateModel,
+    depth: int,
+    trials: int = 256,
+    seed: int | np.random.Generator | None = None,
+) -> dict[str, float]:
+    """Push logical (1, 1) bundles through ``depth`` multiplexed NAND organs.
+
+    Each organ = executive stage + two restorative stages (the standard von
+    Neumann construction: a NAND of a bundle with a permuted copy of itself
+    restores the excitation level toward 0 or 1).  The expected logical
+    output alternates NAND(1,1)=0, NAND(0,0)=1, ...
+
+    Returns a dict with the final mean error fraction and the fraction of
+    trials whose output bundle is correct (within the decision threshold).
+    """
+    rng = as_rng(seed)
+    n = model.bundle_size
+    ones = np.ones((trials, n), dtype=np.uint8)
+    a, b = ones.copy(), ones.copy()
+    expected = 1
+    for _ in range(depth):
+        out = _multiplexed_stage(a, b, model.eps, rng)
+        # Restorative double-NAND: y = NAND(x, x'), z = NAND(y, y') ~ x.
+        mid = _multiplexed_stage(out, out, model.eps, rng)
+        out = _multiplexed_stage(mid, mid, model.eps, rng)
+        expected = 1 - expected
+        a, b = out.copy(), out
+    wrong_fraction = np.abs(a.mean(axis=1) - expected)
+    decided_ok = wrong_fraction < model.threshold
+    return {
+        "mean_error_fraction": float(wrong_fraction.mean()),
+        "success_rate": float(decided_ok.mean()),
+        "expected_output": float(expected),
+    }
+
+
+def nand_fixed_points(eps: float) -> tuple[float, float]:
+    """Fixed points of the restorative excitation map.
+
+    If a fraction x of a bundle is (wrongly) excited, one noisy NAND of the
+    bundle against a random permutation of itself maps x -> f(x) with
+
+        f(x) = (1 - 2 eps) * (1 - x**2) + eps,
+
+    and the double-NAND restoration iterates f twice.  Returns the stable
+    fixed point of f∘f near 0 and near 1 found numerically; their distance
+    from {0, 1} measures the residual error floor ~2 eps.  Above the von
+    Neumann threshold (~0.0107 for 3-input majority; higher for this organ)
+    the two merge.
+    """
+    if not 0.0 <= eps <= 0.5:
+        raise ValueError("eps must lie in [0, 0.5]")
+
+    def f(x: float) -> float:
+        return (1 - 2 * eps) * (1 - x * x) + eps
+
+    lo, hi = 0.0, 1.0
+    for _ in range(200):
+        lo = f(f(lo))
+        hi = f(f(hi))
+    return (float(lo), float(hi))

@@ -1,0 +1,35 @@
+"""Quantum error-correcting codes (paper §2, §3.6, §5).
+
+`StabilizerCode` is the general formalism of §3.6; `CSSCode` specializes to
+codes built from classical codes; `SteaneCode` is the worked example the
+whole paper is organized around, with the Shor [[9,1,3]], Laflamme et al.
+[[5,1,3]], quantum repetition, and quantum Hamming families alongside.
+Concatenation (§5) is provided both as an analytic construction and as
+explicit recursive encoders.
+"""
+
+from repro.codes.stabilizer_code import StabilizerCode
+from repro.codes.css import CSSCode
+from repro.codes.symplectic import find_logical_pairs
+from repro.codes.preparation import prepare_logical_state
+from repro.codes.steane import SteaneCode
+from repro.codes.five_qubit import FiveQubitCode
+from repro.codes.shor9 import ShorNineCode
+from repro.codes.repetition import BitFlipCode, PhaseFlipCode
+from repro.codes.families import QuantumHammingCode, shor_family_parameters
+from repro.codes.concatenated import ConcatenatedSteane
+
+__all__ = [
+    "StabilizerCode",
+    "CSSCode",
+    "find_logical_pairs",
+    "prepare_logical_state",
+    "SteaneCode",
+    "FiveQubitCode",
+    "ShorNineCode",
+    "BitFlipCode",
+    "PhaseFlipCode",
+    "QuantumHammingCode",
+    "shor_family_parameters",
+    "ConcatenatedSteane",
+]

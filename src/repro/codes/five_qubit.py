@@ -1,0 +1,34 @@
+"""The [[5,1,3]] five-qubit code (paper §4.2, refs 36–37).
+
+The smallest code that corrects an arbitrary single-qubit error.  The paper
+notes Gottesman exhibited universal fault-tolerant gates for it but that the
+"gate implementation is quite complex" compared with Steane's code — we
+include it as the comparison point and for cross-code tests of the generic
+stabilizer machinery (it is *not* CSS, exercising the non-CSS paths).
+"""
+
+from __future__ import annotations
+
+from repro.codes.stabilizer_code import StabilizerCode
+from repro.paulis.pauli import pauli_from_string
+
+__all__ = ["FiveQubitCode"]
+
+_GENERATORS = ["XZZXI", "IXZZX", "XIXZZ", "ZXIXZ"]
+
+
+class FiveQubitCode(StabilizerCode):
+    """The cyclic [[5,1,3]] code with transversal-Pauli logicals."""
+
+    def __init__(self) -> None:
+        gens = [pauli_from_string(s) for s in _GENERATORS]
+        super().__init__(
+            gens,
+            [pauli_from_string("XXXXX")],
+            [pauli_from_string("ZZZZZ")],
+            name="FiveQubit[[5,1,3]]",
+        )
+
+    @staticmethod
+    def stabilizer_strings() -> list[str]:
+        return list(_GENERATORS)

@@ -1,0 +1,73 @@
+"""Quantum repetition codes — the bit-flip and phase-flip codes.
+
+These [[n,1,n]]-against-one-error-type codes are the two halves Shor glued
+together into [[9,1,3]]; they correct only X *or* only Z errors and so make
+the cleanest pedagogical demonstrations (and the fastest property tests) of
+the frame machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.codes.stabilizer_code import StabilizerCode
+from repro.paulis.pauli import Pauli, pauli_from_string
+
+__all__ = ["BitFlipCode", "PhaseFlipCode"]
+
+
+def _adjacent_pairs(n: int, letter: str) -> list[Pauli]:
+    gens = []
+    for i in range(n - 1):
+        s = ["I"] * n
+        s[i] = letter
+        s[i + 1] = letter
+        gens.append(pauli_from_string("".join(s)))
+    return gens
+
+
+class BitFlipCode(StabilizerCode):
+    """|0> -> |0...0>, |1> -> |1...1>; corrects up to (n-1)//2 X errors.
+
+    Stabilizers are adjacent ZZ parities.  Z̄ = Z on any single qubit
+    (weight 1!): the code offers *no* phase protection — the asymmetry the
+    Steane code was designed to remove.
+    """
+
+    def __init__(self, n: int = 3) -> None:
+        if n < 3 or n % 2 == 0:
+            raise ValueError("bit-flip code needs odd n >= 3")
+        x_all = pauli_from_string("X" * n)
+        z_single = Pauli.single(n, 0, "Z")
+        super().__init__(_adjacent_pairs(n, "Z"), [x_all], [z_single], name=f"bitflip[[{n},1]]")
+
+    def encoding_circuit(self) -> Circuit:
+        c = Circuit(self.n, name=f"bitflip{self.n}-encoder")
+        for i in range(1, self.n):
+            c.cnot(0, i)
+        return c
+
+    def majority_decode_frame(self, fx: np.ndarray) -> np.ndarray:
+        """Logical X error iff a majority of qubits carry X errors."""
+        arr = np.atleast_2d(np.asarray(fx, dtype=np.int64))
+        return (arr.sum(axis=1) * 2 > self.n).astype(np.uint8)
+
+
+class PhaseFlipCode(StabilizerCode):
+    """The Hadamard conjugate of the bit-flip code: corrects Z errors."""
+
+    def __init__(self, n: int = 3) -> None:
+        if n < 3 or n % 2 == 0:
+            raise ValueError("phase-flip code needs odd n >= 3")
+        z_all = pauli_from_string("Z" * n)
+        x_single = Pauli.single(n, 0, "X")
+        super().__init__(_adjacent_pairs(n, "X"), [x_single], [z_all], name=f"phaseflip[[{n},1]]")
+
+    def encoding_circuit(self) -> Circuit:
+        c = Circuit(self.n, name=f"phaseflip{self.n}-encoder")
+        for i in range(1, self.n):
+            c.cnot(0, i)
+        for i in range(self.n):
+            c.h(i)
+        return c

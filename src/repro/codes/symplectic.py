@@ -1,0 +1,114 @@
+"""Generic logical-operator construction for any stabilizer code (§4.2).
+
+Gottesman's observation, mechanized: the error operators commuting with an
+(n−k)-generator stabilizer form a group with n+k independent generators;
+beyond the stabilizer itself there remain 2k independent operators that
+act on the code space — and they can always be arranged into k pairs
+(X̂_i, Ẑ_i) obeying Eq. (29)'s commutation relations.  The construction is
+pure GF(2) symplectic linear algebra:
+
+1. the centralizer is the kernel of the generators' symplectic form;
+2. quotient representatives modulo the stabilizer span the logical classes;
+3. symplectic Gram–Schmidt pairs them into canonical conjugate pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf2 import gf2_kernel, gf2_rank
+from repro.paulis.pauli import Pauli
+
+__all__ = ["find_logical_pairs", "symplectic_matrix", "centralizer_basis"]
+
+
+def symplectic_matrix(paulis: list[Pauli]) -> np.ndarray:
+    """Stack (x|z) rows for a list of Paulis."""
+    return np.array([np.concatenate([p.x, p.z]) for p in paulis], dtype=np.uint8)
+
+
+def _symplectic_product_rows(a: np.ndarray, b: np.ndarray) -> int:
+    n = a.shape[0] // 2
+    return int((a[:n] @ b[n:] + a[n:] @ b[:n]) % 2)
+
+
+def centralizer_basis(generators: list[Pauli]) -> np.ndarray:
+    """Basis of all (x|z) vectors commuting with every generator.
+
+    Commutation with (gx|gz) means orthogonality to the swapped vector
+    (gz|gx), so the centralizer is the kernel of the swapped generator
+    matrix; its dimension is 2n − (n−k) = n + k.
+    """
+    gmat = symplectic_matrix(generators)
+    n = gmat.shape[1] // 2
+    swapped = np.concatenate([gmat[:, n:], gmat[:, :n]], axis=1)
+    return gf2_kernel(swapped)
+
+
+def find_logical_pairs(generators: list[Pauli]) -> tuple[list[Pauli], list[Pauli]]:
+    """k canonical logical pairs for an arbitrary stabilizer group.
+
+    Returns ``(logical_x, logical_z)`` with [X̂_i, X̂_j] = [Ẑ_i, Ẑ_j] =
+    [X̂_i, Ẑ_j≠i] = 0 and X̂_i anticommuting with Ẑ_i (Eq. 29), every
+    operator commuting with the full stabilizer.
+    """
+    if not generators:
+        raise ValueError("need at least one generator")
+    n = generators[0].n
+    gmat = symplectic_matrix(generators)
+    m = gf2_rank(gmat)
+    k = n - m
+    if k == 0:
+        return [], []
+    # Quotient representatives: centralizer vectors independent modulo the
+    # stabilizer row space.
+    reps: list[np.ndarray] = []
+    stack = gmat.copy()
+    rank = gf2_rank(stack)
+    for v in centralizer_basis(generators):
+        trial = np.vstack([stack, v])
+        r = gf2_rank(trial)
+        if r > rank:
+            reps.append(v.copy())
+            stack, rank = trial, r
+        if len(reps) == 2 * k:
+            break
+    if len(reps) != 2 * k:
+        raise AssertionError("centralizer quotient has wrong dimension")
+
+    # Symplectic Gram–Schmidt over the representatives.
+    pool = list(reps)
+    xs: list[np.ndarray] = []
+    zs: list[np.ndarray] = []
+    while pool:
+        a = pool.pop(0)
+        partner_idx = None
+        for i, b in enumerate(pool):
+            if _symplectic_product_rows(a, b) == 1:
+                partner_idx = i
+                break
+        if partner_idx is None:
+            raise AssertionError("quotient form is degenerate; invalid stabilizer input")
+        b = pool.pop(partner_idx)
+        # Normalize the remaining vectors against the new pair.
+        cleaned = []
+        for u in pool:
+            u2 = u.copy()
+            if _symplectic_product_rows(u2, b):
+                u2 ^= a
+            if _symplectic_product_rows(u2, a):
+                u2 ^= b
+            cleaned.append(u2)
+        pool = cleaned
+        xs.append(a)
+        zs.append(b)
+
+    def _hermitian(v: np.ndarray) -> Pauli:
+        # Phase i^{|x∧z|} makes each Y site a true Y, so the operator is
+        # Hermitian (required for expectation-value queries).
+        y_count = int(np.sum(v[:n] & v[n:]))
+        return Pauli(v[:n], v[n:], y_count % 4)
+
+    lx = [_hermitian(v) for v in xs]
+    lz = [_hermitian(v) for v in zs]
+    return lx, lz

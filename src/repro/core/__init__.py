@@ -1,0 +1,12 @@
+"""High-level public API.
+
+`LogicalMemory` is the entry point a downstream user scripts against:
+pick a code, an EC method, and an error model; run memory experiments and
+threshold scans without touching frames or circuits directly.
+`FaultTolerancePlanner` wraps the §5–§6 resource mathematics.
+"""
+
+from repro.core.memory import LogicalMemory, UnencodedMemory
+from repro.core.planner import FaultTolerancePlanner
+
+__all__ = ["LogicalMemory", "UnencodedMemory", "FaultTolerancePlanner"]

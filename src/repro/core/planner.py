@@ -1,0 +1,73 @@
+"""Fault-tolerance planning: the §5–§6 mathematics as one object.
+
+Answers the engineering questions the paper closes with: given hardware
+error rates, how many concatenation levels, what block size, how many
+physical qubits, and can the 432-bit factoring run finish?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.threshold.flow import (
+    CONCATENATION_COEFFICIENT,
+    levels_needed,
+    logical_rate_closed_form,
+    threshold_from_coefficient,
+)
+from repro.threshold.resources import (
+    FACTORING_432_BIT,
+    FactoringPlan,
+    FactoringProblem,
+    plan_factoring,
+)
+from repro.threshold.scaling import block_size_required
+
+__all__ = ["FaultTolerancePlanner"]
+
+
+@dataclass
+class FaultTolerancePlanner:
+    """Resource planning against the concatenated-Steane threshold.
+
+    Parameters
+    ----------
+    threshold: the flow fixed point (default 1/21 from Eq. 33; substitute
+        a Monte-Carlo pseudo-threshold for circuit-level planning).
+    """
+
+    threshold: float = threshold_from_coefficient(CONCATENATION_COEFFICIENT)
+
+    def levels_for(self, physical_error: float, target_error: float) -> int:
+        """Concatenation levels needed to push ε to the target (Eq. 36)."""
+        return levels_needed(physical_error, target_error, self.threshold)
+
+    def logical_error(self, physical_error: float, levels: int) -> float:
+        return logical_rate_closed_form(physical_error, levels, self.threshold)
+
+    def block_size(self, physical_error: float, target_error: float) -> int:
+        return 7 ** self.levels_for(physical_error, target_error)
+
+    def block_size_for_computation(self, physical_error: float, gates: float) -> float:
+        """Eq. (37): block size for a computation of ``gates`` operations."""
+        return block_size_required(physical_error, self.threshold, gates)
+
+    def factoring_plan(
+        self,
+        physical_error: float = 1e-6,
+        problem: FactoringProblem = FACTORING_432_BIT,
+        ancilla_overhead: float = 2.0,
+    ) -> FactoringPlan:
+        """The §6 worked example (432-bit number, Shor's algorithm)."""
+        return plan_factoring(problem, physical_error, self.threshold, ancilla_overhead)
+
+    def summary(self, physical_error: float, target_error: float) -> dict[str, float]:
+        levels = self.levels_for(physical_error, target_error)
+        return {
+            "physical_error": physical_error,
+            "target_error": target_error,
+            "threshold": self.threshold,
+            "levels": float(levels),
+            "block_size": float(7**levels),
+            "achieved_error": self.logical_error(physical_error, levels),
+        }

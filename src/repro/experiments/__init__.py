@@ -1,0 +1,43 @@
+"""Experiment runners E01–E14 (see DESIGN.md §2 for the index).
+
+Each module exposes ``run(quick: bool = False) -> dict`` regenerating one
+of the paper's quantitative claims; the ``benchmarks/`` tree wraps these in
+pytest-benchmark fixtures and ``EXPERIMENTS.md`` records paper-vs-measured.
+``quick=True`` shrinks shot counts for smoke tests and examples.
+"""
+
+from repro.experiments import (
+    e01_encoded_memory,
+    e02_bad_vs_good_ancilla,
+    e03_cat_verification,
+    e04_syndrome_repetition,
+    e05_shor_vs_steane_cost,
+    e06_code_family_scaling,
+    e07_flow_equations,
+    e08_accuracy_threshold,
+    e09_factoring_resources,
+    e10_random_vs_systematic,
+    e11_leakage_detection,
+    e12_topological_memory,
+    e13_anyonic_logic,
+    e14_toffoli_budget,
+)
+
+ALL_EXPERIMENTS = {
+    "E01": e01_encoded_memory.run,
+    "E02": e02_bad_vs_good_ancilla.run,
+    "E03": e03_cat_verification.run,
+    "E04": e04_syndrome_repetition.run,
+    "E05": e05_shor_vs_steane_cost.run,
+    "E06": e06_code_family_scaling.run,
+    "E07": e07_flow_equations.run,
+    "E08": e08_accuracy_threshold.run,
+    "E09": e09_factoring_resources.run,
+    "E10": e10_random_vs_systematic.run,
+    "E11": e11_leakage_detection.run,
+    "E12": e12_topological_memory.run,
+    "E13": e13_anyonic_logic.run,
+    "E14": e14_toffoli_budget.run,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,75 @@
+"""E03 — Cat-state verification removes correlated double phase errors.
+
+Paper claims (§3.3, Fig. 8): a single faulty XOR in the cat chain can
+leave two bit-flip errors (two *phase* errors after the Hadamard that makes
+the Shor state), which would feed back into the data; the first-vs-last
+comparison catches every such single-fault history, so accepted states
+carry double phase errors only at order ε².
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ft.cat import CatStatePrep
+from repro.noise import NoiseModel
+from repro.pauliframe import FrameSimulator
+
+__all__ = ["run"]
+
+
+def _double_error_rate(eps: float, shots: int, verify: bool, seed: int) -> dict:
+    if verify:
+        prep = CatStatePrep((0, 1, 2, 3), 4, 0)
+        circuit = prep.circuit(5, 1)
+    else:
+        prep = CatStatePrep((0, 1, 2, 3))
+        circuit = prep.circuit(4, 0)
+    sim = FrameSimulator(circuit, NoiseModel(eps_gate1=eps, eps_gate2=eps))
+    res = sim.run(shots, seed=seed)
+    # Bit-flip errors in the cat = phase errors in the Shor state (the
+    # dangerous kind).  Count multiplicity among cat qubits, conditioned
+    # on acceptance when verifying.
+    cat_x = res.fx[:, :4]
+    multi = (cat_x.sum(axis=1) >= 2)
+    if verify:
+        accepted = res.meas_flips[:, 0] == 0
+        rate = float(multi[accepted].mean()) if accepted.any() else float("nan")
+        return {
+            "acceptance": float(accepted.mean()),
+            "double_error_rate": rate,
+        }
+    return {"acceptance": 1.0, "double_error_rate": float(multi.mean())}
+
+
+def run(quick: bool = False) -> dict:
+    shots = 40_000 if quick else 600_000
+    eps_grid = [3e-3, 1e-2, 3e-2]
+    rows = []
+    for i, eps in enumerate(eps_grid):
+        verified = _double_error_rate(eps, shots, True, 30 + i)
+        raw = _double_error_rate(eps, shots, False, 40 + i)
+        rows.append(
+            {
+                "eps": eps,
+                "unverified_double_rate": raw["double_error_rate"],
+                "verified_double_rate": verified["double_error_rate"],
+                "acceptance": verified["acceptance"],
+                "suppression": raw["double_error_rate"]
+                / max(verified["double_error_rate"], 1e-9),
+            }
+        )
+    return {
+        "experiment": "E03",
+        "claim": "verification reduces correlated double (phase) errors from O(eps) to O(eps^2)",
+        "rows": rows,
+        "verified_better_everywhere": all(
+            r["verified_double_rate"] <= r["unverified_double_rate"] for r in rows
+        ),
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import json
+
+    print(json.dumps(run(quick=True), indent=2))

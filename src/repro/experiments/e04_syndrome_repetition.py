@@ -1,0 +1,57 @@
+"""E04 — Repeating the syndrome prevents order-ε miscorrection.
+
+Paper claims (§3.4): acting on a single syndrome reading lets one fault
+(e.g. a measurement error, or an error striking between extraction and
+correction) trigger a wrong correction — "we would actually introduce a
+second error into the data block"; accepting only a twice-repeated
+nontrivial syndrome removes every such order-ε path.
+"""
+
+from __future__ import annotations
+
+from repro.codes import SteaneCode
+from repro.ft import ShorECProtocol
+from repro.noise import circuit_level
+from repro.threshold import memory_experiment
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False) -> dict:
+    """Uses the Shor extraction method, whose generator-by-generator
+    schedule makes the §3.4 failure mode concrete: an error striking
+    mid-extraction is seen by some checks and not others, so a single
+    fault yields an inconsistent syndrome whose "correction" plants a
+    second error — unless the syndrome must repeat before being trusted."""
+    code = SteaneCode()
+    shots = 20_000 if quick else 200_000
+    eps_grid = [3e-4, 1e-3]
+    rows = []
+    for i, eps in enumerate(eps_grid):
+        noise = circuit_level(eps)
+        naive = ShorECProtocol(code, noise, repetitions=1, policy="first")
+        paper = ShorECProtocol(code, noise, repetitions=2, policy="paper")
+        r_naive = memory_experiment(naive, code, rounds=1, shots=shots, seed=50 + i)
+        r_paper = memory_experiment(paper, code, rounds=1, shots=shots, seed=60 + i)
+        rows.append(
+            {
+                "eps": eps,
+                "single_reading_failure": r_naive.failure_rate,
+                "repeated_reading_failure": r_paper.failure_rate,
+                "improvement": r_naive.failure_rate / max(r_paper.failure_rate, 1e-9),
+            }
+        )
+    return {
+        "experiment": "E04",
+        "claim": "act only on a repeated nontrivial syndrome (§3.4)",
+        "rows": rows,
+        "repetition_helps": all(
+            r["repeated_reading_failure"] <= r["single_reading_failure"] for r in rows
+        ),
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import json
+
+    print(json.dumps(run(quick=True), indent=2))

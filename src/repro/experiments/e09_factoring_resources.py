@@ -1,0 +1,67 @@
+"""E09 — Factoring resources: the §6 worked example and Eq. 36/37 scaling.
+
+Paper claims (§6): factoring a 432-bit number needs 2160 logical qubits
+and ~3·10⁹ Toffolis; per-Toffoli error ≤ ~1e-9 and storage ≤ ~1e-12;
+achievable at ε ~ 1e-6 with 3 levels of concatenation (block 343) and ~1e6
+physical qubits; Steane's block-55 alternative uses ~4e5 qubits at 1e-5.
+"""
+
+from __future__ import annotations
+
+from repro.threshold import FACTORING_432_BIT, plan_factoring
+from repro.threshold.flow import logical_rate_closed_form
+from repro.threshold.resources import block55_alternative
+from repro.threshold.scaling import block_size_required
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False) -> dict:
+    problem = FACTORING_432_BIT
+    # The paper's own flow constants (Shor-method EC, ref. 23) correspond
+    # to an effective threshold near 3e-5; its binding constraint is the
+    # storage budget 1e-12 per gate time.
+    paper_like = plan_factoring(
+        problem,
+        physical_error=1e-6,
+        threshold=3e-5,
+        target_error=1e-12,
+        ancilla_overhead=1.35,
+    )
+    # Our own Steane-method numbers: MC pseudo-threshold ~2e-4.
+    ours = plan_factoring(
+        problem,
+        physical_error=1e-6,
+        threshold=2e-4,
+        target_error=1e-12,
+        ancilla_overhead=1.35,
+    )
+    suppression_curve = [
+        {"levels": L, "logical_error": logical_rate_closed_form(1e-6, L, 3e-5)}
+        for L in range(5)
+    ]
+    return {
+        "experiment": "E09",
+        "claim": "432-bit: 2160 logical qubits, 3e9 Toffolis, L=3, block 343, ~1e6 qubits",
+        "paper_logical_qubits": 2160,
+        "measured_logical_qubits": problem.logical_qubits,
+        "paper_toffoli_gates": 3e9,
+        "measured_toffoli_gates": problem.toffoli_gates,
+        "paper_levels": 3,
+        "paper_block": 343,
+        "paper_total_qubits": 1e6,
+        "planned_levels_paper_constants": paper_like.levels,
+        "planned_block_paper_constants": paper_like.block_size,
+        "planned_total_qubits_paper_constants": paper_like.total_qubits,
+        "planned_levels_our_constants": ours.levels,
+        "planned_block_our_constants": ours.block_size,
+        "suppression_curve": suppression_curve,
+        "eq37_block_size_estimate": block_size_required(1e-6, 3e-5, problem.toffoli_gates),
+        "block55_alternative": block55_alternative(problem),
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import json
+
+    print(json.dumps(run(quick=True), indent=2))

@@ -1,0 +1,45 @@
+"""Fault-tolerant gadgets (paper §3–§4).
+
+Every construction of the paper's fault-tolerance toolbox, as executable
+circuits over the shared IR: cat/Shor-state preparation and verification
+(Fig. 8), Shor and Steane syndrome extraction (§3.2–3.3, Figs. 7 and 9),
+the *non*-fault-tolerant strawman (Figs. 2/6), syndrome repetition (§3.4),
+logical measurement (Fig. 4, §3.5), transversal gates (§4.1, Fig. 11),
+Shor's measurement-based Toffoli (Fig. 13), and leakage detection (Fig. 15).
+"""
+
+from repro.ft.cat import CatStatePrep, shor_state_prep
+from repro.ft.nonft_ec import bad_syndrome_circuit, good_syndrome_circuit
+from repro.ft.shor_ec import ShorSyndromeExtraction
+from repro.ft.steane_ec import SteaneAncillaPrep, SteaneSyndromeExtraction
+from repro.ft.transversal import (
+    transversal_cnot,
+    transversal_hadamard,
+    transversal_pauli,
+    transversal_phase,
+)
+from repro.ft.measurement import destructive_logical_measurement
+from repro.ft.toffoli import ShorToffoliGadget, encoded_toffoli_resources
+from repro.ft.leakage_detect import leakage_detection_circuit
+from repro.ft.exrec import ShorECProtocol, SteaneECProtocol, resolve_syndrome_policy
+
+__all__ = [
+    "ShorECProtocol",
+    "SteaneECProtocol",
+    "resolve_syndrome_policy",
+    "CatStatePrep",
+    "shor_state_prep",
+    "bad_syndrome_circuit",
+    "good_syndrome_circuit",
+    "ShorSyndromeExtraction",
+    "SteaneAncillaPrep",
+    "SteaneSyndromeExtraction",
+    "transversal_cnot",
+    "transversal_hadamard",
+    "transversal_pauli",
+    "transversal_phase",
+    "destructive_logical_measurement",
+    "ShorToffoliGadget",
+    "encoded_toffoli_resources",
+    "leakage_detection_circuit",
+]

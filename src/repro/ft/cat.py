@@ -1,0 +1,82 @@
+"""Cat-state preparation and verification (paper §3.3, Fig. 8).
+
+The Shor-method ancilla for a weight-w stabilizer is the Shor state — the
+even-weight superposition (Eq. 16) — obtained by Hadamard-rotating a w-qubit
+cat state (|0...0> + |1...1>)/√2.  A single faulty XOR in the cat
+preparation chain can leave *two* bit-flip errors in the cat (e.g.
+|0011> + |1100>), which become two phase errors in the Shor state and feed
+back into the data; Fig. 8 therefore appends a verification step comparing
+the first and last cat bits, discarding the state when they differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+
+__all__ = ["CatStatePrep", "shor_state_prep"]
+
+
+@dataclass(frozen=True)
+class CatStatePrep:
+    """Plan for preparing (and optionally verifying) one cat state.
+
+    Attributes
+    ----------
+    cat_qubits: register indices holding the cat state, in chain order.
+    verify_qubit: scratch qubit for the comparison test, or ``None``.
+    verify_cbit: classical bit holding the verification outcome
+        (reference value 0; 1 means "discard and retry").
+    """
+
+    cat_qubits: tuple[int, ...]
+    verify_qubit: int | None = None
+    verify_cbit: int | None = None
+
+    def circuit(self, num_qubits: int, num_cbits: int) -> Circuit:
+        """Emit the Fig. 8 circuit into a register of the given size."""
+        qs = self.cat_qubits
+        if len(qs) < 2:
+            raise ValueError("a cat state needs at least 2 qubits")
+        c = Circuit(num_qubits, num_cbits, name=f"cat{len(qs)}-prep")
+        for q in qs:
+            c.reset(q, tag="anc_prep")
+        c.h(qs[0], tag="anc_prep")
+        # XOR chain: an X fault after link i corrupts qubits i+1.. — exactly
+        # the correlated pattern the verification below is designed to catch.
+        for a, b in zip(qs, qs[1:]):
+            c.cnot(a, b, tag="anc_prep")
+        if self.verify_qubit is not None:
+            if self.verify_cbit is None:
+                raise ValueError("verification needs a classical bit")
+            c.reset(self.verify_qubit, tag="verify")
+            # Compare first and last cat bits: they differ in every
+            # single-fault history that leaves two bit flips in the cat.
+            c.cnot(qs[0], self.verify_qubit, tag="verify")
+            c.cnot(qs[-1], self.verify_qubit, tag="verify")
+            c.measure(self.verify_qubit, self.verify_cbit, tag="verify")
+        return c
+
+
+def shor_state_prep(
+    cat_qubits: tuple[int, ...],
+    verify_qubit: int | None,
+    verify_cbit: int | None,
+    num_qubits: int,
+    num_cbits: int,
+) -> Circuit:
+    """Cat prep + verification + transversal Hadamard = Shor state (Eq. 16).
+
+    Fig. 7(a): "The Hadamard gate applied to the cat state completes the
+    preparation of the Shor state."  The bit-flip errors the verification
+    could not catch become *phase* errors in the Shor state, which merely
+    corrupt the syndrome bit (recoverable by repetition, §3.4) rather than
+    feeding back into the data.
+    """
+    prep = CatStatePrep(cat_qubits, verify_qubit, verify_cbit)
+    c = prep.circuit(num_qubits, num_cbits)
+    for q in cat_qubits:
+        c.h(q, tag="anc_prep")
+    c.name = f"shor{len(cat_qubits)}-state-prep"
+    return c

@@ -1,0 +1,241 @@
+"""Executable fault-tolerant EC protocols (the paper's Fig. 9 as a whole).
+
+These classes tie together the ancilla factories, the extraction circuits,
+and the classical syndrome-handling policy of §3.4 into a vectorized
+"run one EC round on many Monte-Carlo shots" operation — the building block
+the §5 threshold analysis calls a *recovery step* and modern literature
+calls an exRec.
+
+Syndrome policy (§3.4), vectorized over shots:
+
+* ``"paper"`` — act only when two successive syndrome measurements agree
+  and are nontrivial ("there is no way occurring with a probability of
+  order ε to obtain the same (nontrivial) faulty syndrome twice in a
+  row"); disagreement or trivial first reading means do nothing.
+* ``"first"`` — act on the first reading unconditionally (the naive
+  protocol whose order-ε failure E04 demonstrates).
+* ``"majority"`` — act on the bitwise majority over all repetitions
+  (requires an odd repetition count).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.css import CSSCode, _classical_correction
+from repro.codes.steane import SteaneCode
+from repro.codes.stabilizer_code import StabilizerCode
+from repro.ft.shor_ec import ShorSyndromeExtraction
+from repro.ft.steane_ec import SteaneAncillaPrep, SteaneSyndromeExtraction
+from repro.noise.models import NoiseModel
+from repro.pauliframe.engine import FrameSimulator
+from repro.util.rng import as_rng
+
+__all__ = ["SteaneECProtocol", "ShorECProtocol", "resolve_syndrome_policy"]
+
+
+def resolve_syndrome_policy(syndromes: np.ndarray, policy: str) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce ``(shots, reps, m)`` syndrome readings to one per shot.
+
+    Returns ``(accepted_syndrome, act_mask)``: the syndrome to decode and a
+    per-shot flag for whether any correction is applied at all.
+    """
+    syn = np.asarray(syndromes, dtype=np.uint8)
+    shots, reps, m = syn.shape
+    if policy == "first":
+        accepted = syn[:, 0, :]
+        act = accepted.any(axis=1)
+    elif policy == "paper":
+        if reps < 2:
+            raise ValueError("the paper policy needs >= 2 repetitions")
+        first, second = syn[:, 0, :], syn[:, 1, :]
+        agree = (first == second).all(axis=1)
+        act = agree & first.any(axis=1)
+        accepted = first
+    elif policy == "majority":
+        if reps % 2 == 0:
+            raise ValueError("majority policy needs an odd repetition count")
+        accepted = ((syn.sum(axis=1) * 2) > reps).astype(np.uint8)
+        act = accepted.any(axis=1)
+    else:
+        raise ValueError(f"unknown syndrome policy {policy!r}")
+    return accepted, act
+
+
+class SteaneECProtocol:
+    """One Steane-method EC round, vectorized over shots.
+
+    Parameters
+    ----------
+    noise: the circuit-level error model applied everywhere (factory and
+        extraction alike).
+    repetitions: syndrome measurements per type per round (Fig. 9 uses 2).
+    policy: see module docstring.
+    verify_ancilla: run the §3.3 two-block verification in the factory.
+    """
+
+    def __init__(
+        self,
+        noise: NoiseModel,
+        repetitions: int = 2,
+        policy: str = "paper",
+        verify_ancilla: bool = True,
+        code: SteaneCode | None = None,
+    ) -> None:
+        self.code = code or SteaneCode()
+        self.noise = noise
+        self.policy = policy
+        self.extraction = SteaneSyndromeExtraction(self.code, repetitions)
+        self.prep = SteaneAncillaPrep(self.code, verify=verify_ancilla)
+        self._factory_sim = FrameSimulator(self.prep.circuit(), noise)
+        self._extract_sim = FrameSimulator(self.extraction.extraction_circuit(), noise)
+
+    # ------------------------------------------------------------------
+    def sample_ancilla_blocks(
+        self, shots: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Residual frames of one factory-verified |0̄> block per shot."""
+        res = self._factory_sim.run(shots, rng)
+        flip = self.prep.parse(res.meas_flips) if self.prep.verify else np.zeros(shots, np.uint8)
+        fx = self.prep.apply_fixups(res.fx[:, :7], flip)
+        return fx, res.fz[:, :7].copy()
+
+    def run_round(
+        self,
+        shots: int,
+        seed: int | np.random.Generator | None = None,
+        data_fx: np.ndarray | None = None,
+        data_fz: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply one noisy EC round to the given data frames.
+
+        Returns the post-correction data frames ``(fx, fz)``; residual
+        logical damage is judged by the caller (ideal decode).
+        """
+        rng = as_rng(seed)
+        total = self.extraction.total_qubits
+        init_fx = np.zeros((shots, total), dtype=np.uint8)
+        init_fz = np.zeros((shots, total), dtype=np.uint8)
+        if data_fx is not None:
+            init_fx[:, :7] = data_fx
+        if data_fz is not None:
+            init_fz[:, :7] = data_fz
+        for layout in self.extraction.layouts:
+            afx, afz = self.sample_ancilla_blocks(shots, rng)
+            init_fx[:, list(layout.anc_qubits)] = afx
+            init_fz[:, list(layout.anc_qubits)] = afz
+        res = self._extract_sim.run(shots, rng, initial_fx=init_fx, initial_fz=init_fz)
+        x_syn, z_syn = self.extraction.parse_syndromes(res.meas_flips)
+        fx = res.fx[:, :7].copy()
+        fz = res.fz[:, :7].copy()
+        fx ^= self._corrections(x_syn)
+        fz ^= self._corrections(z_syn)
+        return fx, fz
+
+    def _corrections(self, syndromes: np.ndarray) -> np.ndarray:
+        accepted, act = resolve_syndrome_policy(syndromes, self.policy)
+        corr = self.code.decode_bitflip_syndrome(accepted)
+        corr[~act.astype(bool)] = 0
+        return corr
+
+
+class ShorECProtocol:
+    """One Shor-method EC round for any stabilizer code.
+
+    Cat-state ancillas come from per-width factories with verification and
+    resample-on-reject (off-line retry, §6's parallelism assumption); the
+    extraction circuit measures every generator ``repetitions`` times.
+    """
+
+    def __init__(
+        self,
+        code: StabilizerCode,
+        noise: NoiseModel,
+        repetitions: int = 2,
+        policy: str = "paper",
+        verify_ancilla: bool = True,
+    ) -> None:
+        self.code = code
+        self.noise = noise
+        self.policy = policy
+        self.extraction = ShorSyndromeExtraction(code, repetitions, verify_ancilla)
+        self._extract_sim = FrameSimulator(self.extraction.extraction_circuit(), noise)
+        self._factories = {
+            w: FrameSimulator(self.extraction.ancilla_factory(w)[0], noise)
+            for w in self.extraction.factory_widths()
+        }
+        self.verify_ancilla = verify_ancilla
+
+    # ------------------------------------------------------------------
+    def sample_cat_frames(
+        self, width: int, shots: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Accepted cat-state frames (resampling rejected preparations)."""
+        sim = self._factories[width]
+        res = sim.run(shots, rng)
+        fx = res.fx[:, :width].copy()
+        fz = res.fz[:, :width].copy()
+        if self.verify_ancilla:
+            rejected = res.meas_flips[:, 0].astype(bool)
+            accepted_idx = np.nonzero(~rejected)[0]
+            if accepted_idx.size == 0:
+                raise RuntimeError(
+                    "every cat preparation failed verification; noise too high"
+                )
+            bad_idx = np.nonzero(rejected)[0]
+            if bad_idx.size:
+                replacement = rng.choice(accepted_idx, size=bad_idx.size)
+                fx[bad_idx] = fx[replacement]
+                fz[bad_idx] = fz[replacement]
+        return fx, fz
+
+    def run_round(
+        self,
+        shots: int,
+        seed: int | np.random.Generator | None = None,
+        data_fx: np.ndarray | None = None,
+        data_fz: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        rng = as_rng(seed)
+        n = self.code.n
+        total = self.extraction.total_qubits
+        init_fx = np.zeros((shots, total), dtype=np.uint8)
+        init_fz = np.zeros((shots, total), dtype=np.uint8)
+        if data_fx is not None:
+            init_fx[:, :n] = data_fx
+        if data_fz is not None:
+            init_fz[:, :n] = data_fz
+        for block in self.extraction.blocks:
+            w = len(block.qubits)
+            cfx, cfz = self.sample_cat_frames(w, shots, rng)
+            init_fx[:, list(block.qubits)] = cfx
+            init_fz[:, list(block.qubits)] = cfz
+        res = self._extract_sim.run(shots, rng, initial_fx=init_fx, initial_fz=init_fz)
+        syn = self.extraction.parse_syndromes(res.meas_flips)
+        fx = res.fx[:, :n].copy()
+        fz = res.fz[:, :n].copy()
+        corr_x, corr_z = self._corrections(syn)
+        fx ^= corr_x
+        fz ^= corr_z
+        return fx, fz
+
+    def _corrections(self, syndromes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        accepted, act = resolve_syndrome_policy(syndromes, self.policy)
+        if isinstance(self.code, CSSCode):
+            # Z-type generators come first in the CSS construction: their
+            # bits locate X errors; the X-type bits locate Z errors.
+            nz = self.code.hz.shape[0]
+            corr_x = _classical_correction(self.code.hz, accepted[:, :nz])
+            corr_z = _classical_correction(self.code.hx, accepted[:, nz:])
+        else:
+            cx_table, cz_table = self.code._frame_table()
+            weights = 1 << np.arange(accepted.shape[1])
+            keys = accepted.astype(np.int64) @ weights
+            corr_x = cx_table[keys]
+            corr_z = cz_table[keys]
+        mask = ~act.astype(bool)
+        corr_x = corr_x.copy()
+        corr_z = corr_z.copy()
+        corr_x[mask] = 0
+        corr_z[mask] = 0
+        return corr_x, corr_z

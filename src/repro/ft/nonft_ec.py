@@ -1,0 +1,102 @@
+"""The non-fault-tolerant strawman vs the fault-tolerant fix (Figs. 2, 6).
+
+Fig. 2 computes each bit-flip syndrome bit by XOR-ing four data qubits into
+a *single reused* ancilla qubit.  §3.1 explains the failure: a single phase
+error on that ancilla propagates backward through up to four XORs, planting
+a multi-qubit phase error in the data — a block-level fault at order ε.
+Fig. 6's "good" circuit expands the ancilla to four qubits (a Shor state),
+each the target of exactly one XOR, removing the shared failure point.
+
+These builders produce the bit-flip-syndrome halves only (the comparison in
+experiment E02 concerns the back-action mechanism, which is identical for
+the phase half in the rotated basis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.codes.css import CSSCode
+from repro.ft.cat import shor_state_prep
+
+__all__ = ["bad_syndrome_circuit", "good_syndrome_circuit"]
+
+
+def bad_syndrome_circuit(code: CSSCode) -> Circuit:
+    """Fig. 2: one ancilla qubit per Z-check, reused as the target of every
+    XOR in that check's support.  NOT fault tolerant — for demonstration.
+
+    Layout: data on qubits [0, n); one ancilla per check row after that.
+    Classical bit j holds syndrome bit j.
+    """
+    n = code.n
+    checks = code.hz
+    num_anc = checks.shape[0]
+    c = Circuit(n + num_anc, num_anc, name=f"bad-syndrome-{code.name}")
+    for j, row in enumerate(checks):
+        anc = n + j
+        c.reset(anc, tag="anc_prep")
+        for q in np.nonzero(row)[0]:
+            c.cnot(int(q), anc, tag="syndrome")
+        c.measure(anc, j, tag="syndrome")
+    return c
+
+
+def good_syndrome_circuit(code: CSSCode, verify: bool = True) -> Circuit:
+    """Fig. 6 "Good!": a fresh Shor state per check; each ancilla qubit is
+    the target of exactly one XOR, so ancilla phase errors cannot fan out
+    into the data.
+
+    Classical layout: for check j of weight w_j, bits are assigned in
+    order — w_j measurement bits whose *parity* is syndrome bit j, then
+    (when ``verify``) one verification bit.  Use :func:`parse_good_syndrome`
+    to decode.
+    """
+    n = code.n
+    checks = code.hz
+    total_anc = max(int(row.sum()) for row in checks) + (1 if verify else 0)
+    c = Circuit(n + total_anc, _good_num_cbits(code, verify), name=f"good-syndrome-{code.name}")
+    cbit = 0
+    for row in checks:
+        support = [int(q) for q in np.nonzero(row)[0]]
+        w = len(support)
+        anc = tuple(range(n, n + w))
+        vq = n + w if verify else None
+        vb = cbit + w if verify else None
+        c.compose(shor_state_prep(anc, vq, vb, c.num_qubits, c.num_cbits))
+        for data_q, anc_q in zip(support, anc):
+            c.cnot(data_q, anc_q, tag="syndrome")
+        for i, anc_q in enumerate(anc):
+            c.measure(anc_q, cbit + i, tag="syndrome")
+        cbit += w + (1 if verify else 0)
+    return c
+
+
+def _good_num_cbits(code: CSSCode, verify: bool) -> int:
+    return int(sum(int(row.sum()) + (1 if verify else 0) for row in code.hz))
+
+
+def parse_good_syndrome(
+    code: CSSCode, meas_flips: np.ndarray, verify: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode the classical record of :func:`good_syndrome_circuit`.
+
+    Returns ``(syndrome, verify_fail)``: per-shot syndrome bits (parity of
+    each check's Shor-state measurements) and a flag set when any
+    verification bit fired.
+    """
+    flips = np.atleast_2d(np.asarray(meas_flips, dtype=np.uint8))
+    shots = flips.shape[0]
+    syndrome = np.zeros((shots, code.hz.shape[0]), dtype=np.uint8)
+    verify_fail = np.zeros(shots, dtype=np.uint8)
+    cbit = 0
+    for j, row in enumerate(code.hz):
+        w = int(row.sum())
+        syndrome[:, j] = flips[:, cbit : cbit + w].sum(axis=1) % 2
+        if verify:
+            verify_fail |= flips[:, cbit + w]
+            cbit += w + 1
+        else:
+            cbit += w
+    return syndrome, verify_fail

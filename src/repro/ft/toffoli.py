@@ -1,0 +1,208 @@
+"""Shor's fault-tolerant Toffoli gate (paper §4.1, Figs. 12–13).
+
+The construction has two stages.  Stage 1 prepares three ancilla blocks in
+|A> = ½ Σ_{a,b} |a, b, ab> by Hadamarding three |0̄>'s (Eq. 24) and then
+*measuring* in the {|A>, |B>} basis (Fig. 12): a control in |+> applies the
+conditional phase (−1)^{ab+c} — a CCZ onto (a, b) and a CZ onto c — and is
+read out in the X basis; outcome 1 means |B> = NOT₃|A> and is repaired by
+NOT₃.  Stage 2 entangles the ancilla with the data via three XORs and a
+Hadamard (Eq. 27), measures the data registers away, and applies
+measurement-conditioned Clifford fix-ups (the arrows of Fig. 13); the
+ancilla registers become the output data.
+
+One fix-up — the m1·m2 term — is conditioned on an AND of two outcomes,
+which the parity-only condition field of the circuit IR cannot express;
+like the paper's classical co-processor, :meth:`ShorToffoliGadget.run_dense`
+evaluates it classically between circuit segments.  The resource-accounting
+circuit (:func:`encoded_toffoli_resources`) includes every gate location of
+the transversal encoded version with verified 7-bit cat-state controls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.analysis import resource_summary
+from repro.circuits.circuit import Circuit
+from repro.codes.steane import SteaneCode
+from repro.ft.cat import CatStatePrep
+
+__all__ = ["ShorToffoliGadget", "encoded_toffoli_resources"]
+
+
+class ShorToffoliGadget:
+    """Unencoded Fig. 13 gadget on 7 qubits.
+
+    Register layout: ancillas a, b, c on qubits 0–2 (they become the output
+    x, y, z⊕xy), data x, y, z on qubits 3–5, measurement control on qubit
+    6.  Classical bits: 0 = {A,B} measurement, 1–3 = data measurements.
+    """
+
+    ANC_A, ANC_B, ANC_C = 0, 1, 2
+    DATA_X, DATA_Y, DATA_Z = 3, 4, 5
+    CONTROL = 6
+
+    # -- stage 1: |A> preparation by measurement -------------------------
+    def ancilla_prep_circuit(self) -> Circuit:
+        c = Circuit(7, 4, name="toffoli-anc-prep")
+        for q in (self.ANC_A, self.ANC_B, self.ANC_C):
+            c.h(q, tag="toffoli_prep")
+        # Fig. 12: control in |+>, conditional Z_AB = (−1)^{ab+c}, X-basis
+        # readout; outcome 1 projects onto |B> which NOT₃ repairs.
+        c.h(self.CONTROL, tag="toffoli_prep")
+        c.append("CCZ", self.CONTROL, self.ANC_A, self.ANC_B, tag="toffoli_prep")
+        c.cz(self.CONTROL, self.ANC_C, tag="toffoli_prep")
+        c.h(self.CONTROL, tag="toffoli_prep")
+        c.measure(self.CONTROL, 0, tag="toffoli_prep")
+        c.x(self.ANC_C, condition=(0,), tag="toffoli_prep")
+        return c
+
+    # -- stage 2: couple to data, measure the data away ------------------
+    def coupling_circuit(self) -> Circuit:
+        c = Circuit(7, 4, name="toffoli-coupling")
+        c.cnot(self.ANC_A, self.DATA_X, tag="toffoli")
+        c.cnot(self.ANC_B, self.DATA_Y, tag="toffoli")
+        c.cnot(self.DATA_Z, self.ANC_C, tag="toffoli")
+        c.h(self.DATA_Z, tag="toffoli")
+        c.measure(self.DATA_X, 1, tag="toffoli")
+        c.measure(self.DATA_Y, 2, tag="toffoli")
+        c.measure(self.DATA_Z, 3, tag="toffoli")
+        return c
+
+    # -- stage 3: conditioned fix-ups -------------------------------------
+    def fixup_circuit(self, m1: int, m2: int, m3: int) -> Circuit:
+        """Fix-ups for concrete outcomes (the AND is evaluated here).
+
+        Derivation: before fix-ups the ancilla registers hold
+        |x⊕m1, y⊕m2, ab⊕z> with a = x⊕m1, b = y⊕m2 and a residual phase
+        (−1)^{m3·z}.  Restoring the first two registers and expanding
+        ab = xy ⊕ x·m2 ⊕ y·m1 ⊕ m1·m2 dictates each conditioned gate; the
+        phase is repaired by (−1)^z = CZ(a,b)·Z(c) acting on the *fixed*
+        registers, so it must come last.
+        """
+        c = Circuit(7, 4, name="toffoli-fixup")
+        if m1:
+            c.x(self.ANC_A, tag="toffoli_fix")
+        if m2:
+            c.x(self.ANC_B, tag="toffoli_fix")
+        if m2:
+            c.cnot(self.ANC_A, self.ANC_C, tag="toffoli_fix")
+        if m1:
+            c.cnot(self.ANC_B, self.ANC_C, tag="toffoli_fix")
+        if m1 and m2:
+            c.x(self.ANC_C, tag="toffoli_fix")
+        if m3:
+            c.z(self.ANC_C, tag="toffoli_fix")
+            c.cz(self.ANC_A, self.ANC_B, tag="toffoli_fix")
+        return c
+
+    # ------------------------------------------------------------------
+    def run_dense(
+        self, amplitudes: np.ndarray, rng: "int | np.random.Generator | None" = None
+    ) -> np.ndarray:
+        """Execute the gadget exactly on an 8-dimensional data state.
+
+        ``amplitudes``: length-8 complex vector over |x y z>.  Returns the
+        normalized length-8 output vector carried by the former ancilla
+        registers; for a correct gadget it equals CCX·input (up to global
+        phase) for *every* measurement record.
+        """
+        from repro.statevector import StateVector, run_circuit
+        from repro.util.rng import as_rng
+
+        gen = as_rng(rng)
+        amps = np.asarray(amplitudes, dtype=complex).ravel()
+        if amps.shape[0] != 8:
+            raise ValueError("data state must be 3 qubits (8 amplitudes)")
+        # Embed: qubits 0-2 (ancilla) and 6 (control) start in |0>; the
+        # data value xyz indexes qubits 3-5.
+        full = np.zeros((2,) * 7, dtype=complex)
+        for idx in range(8):
+            x, y, z = (idx >> 2) & 1, (idx >> 1) & 1, idx & 1
+            full[0, 0, 0, x, y, z, 0] = amps[idx]
+        sv = StateVector.from_amplitudes(full.reshape(-1))
+
+        sv, rec1 = run_circuit(self.ancilla_prep_circuit(), state=sv, rng=gen)
+        sv, rec2 = run_circuit(self.coupling_circuit(), state=sv, rng=gen)
+        m1, m2, m3 = rec2[1], rec2[2], rec2[3]
+        sv, _ = run_circuit(self.fixup_circuit(m1, m2, m3), state=sv, rng=gen)
+
+        final = sv.amplitudes().reshape((2,) * 7)
+        out = final[:, :, :, m1, m2, m3, rec1[0]]
+        vec = out.reshape(8).copy()
+        norm = np.linalg.norm(vec)
+        if norm < 1e-9:
+            raise AssertionError("measurement slicing inconsistent with record")
+        return vec / norm
+
+
+def encoded_toffoli_resources(
+    measurement_repetitions: int = 2, verify_cats: bool = True
+) -> dict[str, object]:
+    """Gate-location accounting for the encoded (transversal) Fig. 13.
+
+    Builds the full circuit on three 7-qubit ancilla blocks, three 7-qubit
+    data blocks, and one verified 7-bit cat state per {A,B}-measurement
+    repetition ("the measurement is repeated to ensure accuracy"), then
+    returns its resource summary.  The bitwise Toffoli of the measurement
+    circuit appears as 7 CCX locations per repetition — the paper's
+    footnote j treats their (higher) error rate separately, which
+    experiment E14 explores.
+    """
+    code = SteaneCode()
+    n = code.n
+    anc = [0, n, 2 * n]            # ancilla block offsets
+    data = [3 * n, 4 * n, 5 * n]   # data block offsets
+    cat_base = 6 * n
+    total_q = cat_base + n + 1     # one cat register + verify scratch, reused
+    num_c = measurement_repetitions * (n + 1) + 3 * n + 3
+    c = Circuit(total_q, num_c, name="encoded-toffoli")
+
+    # Stage 1: transversal H on the three ancilla blocks (Eq. 24)...
+    for off in anc:
+        for i in range(n):
+            c.h(off + i, tag="toffoli_prep")
+    # ...then the {A,B} measurement, repeated: verified cat control, bitwise
+    # CCZ/CZ conditioned on the cat bits, Hadamard, destructive parity read.
+    cbit = 0
+    for _rep in range(measurement_repetitions):
+        cat_qubits = tuple(range(cat_base, cat_base + n))
+        prep = CatStatePrep(
+            cat_qubits, cat_base + n if verify_cats else None, cbit + n if verify_cats else None
+        )
+        c.compose(prep.circuit(total_q, num_c))
+        for i in range(n):
+            c.append("CCZ", cat_base + i, anc[0] + i, anc[1] + i, tag="toffoli_prep")
+            c.cz(cat_base + i, anc[2] + i, tag="toffoli_prep")
+        for i in range(n):
+            c.h(cat_base + i, tag="toffoli_prep")
+            c.measure(cat_base + i, cbit + i, tag="toffoli_prep")
+        cbit += n + (1 if verify_cats else 0)
+    # Conditional NOT₃ on the parity of the cat measurement (transversal X).
+    for i in range(n):
+        c.x(anc[2] + i, condition=tuple(range(n)), tag="toffoli_prep")
+
+    # Stage 2: transversal XORs and destructive data measurements.
+    for i in range(n):
+        c.cnot(anc[0] + i, data[0] + i, tag="toffoli")
+        c.cnot(anc[1] + i, data[1] + i, tag="toffoli")
+        c.cnot(data[2] + i, anc[2] + i, tag="toffoli")
+    for i in range(n):
+        c.h(data[2] + i, tag="toffoli")
+    for b, off in enumerate(data):
+        for i in range(n):
+            c.measure(off + i, cbit + b * n + i, tag="toffoli")
+
+    # Stage 3 fix-ups (counted at their worst case: all three fire).
+    for i in range(n):
+        c.x(anc[0] + i, tag="toffoli_fix")
+        c.x(anc[1] + i, tag="toffoli_fix")
+        c.cnot(anc[0] + i, anc[1] + i, tag="toffoli_fix")  # stands for conditioned XORs
+        c.x(anc[2] + i, tag="toffoli_fix")
+        c.z(anc[2] + i, tag="toffoli_fix")
+        c.cz(anc[0] + i, anc[1] + i, tag="toffoli_fix")
+
+    summary = resource_summary(c)
+    summary["measurement_repetitions"] = measurement_repetitions
+    summary["ccz_locations"] = summary["gate_counts"].get("CCZ", 0)
+    return summary

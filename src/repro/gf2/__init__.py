@@ -1,0 +1,28 @@
+"""Linear algebra over GF(2).
+
+The classical Hamming code, CSS code construction, stabilizer bookkeeping,
+and toric-code homology all reduce to binary linear algebra; this subpackage
+provides the shared primitives.
+"""
+
+from repro.gf2.linalg import (
+    gf2_inverse,
+    gf2_kernel,
+    gf2_matmul,
+    gf2_rank,
+    gf2_row_reduce,
+    gf2_row_space,
+    gf2_solve,
+    in_row_space,
+)
+
+__all__ = [
+    "gf2_inverse",
+    "gf2_kernel",
+    "gf2_matmul",
+    "gf2_rank",
+    "gf2_row_reduce",
+    "gf2_row_space",
+    "gf2_solve",
+    "in_row_space",
+]

@@ -1,0 +1,26 @@
+"""Error models (paper §6).
+
+The paper's quasi-realistic model: uncorrelated stochastic errors, equal
+probabilities for bit flip / phase flip / both (depolarizing-like), per-gate
+error ε_gate by gate type, storage error ε_store per qubit per time step,
+multi-qubit gate faults damaging every qubit the gate touches, plus the two
+extensions it analyzes separately — systematic (coherent) errors and leakage.
+"""
+
+from repro.noise.models import NoiseModel, CODE_CAPACITY, circuit_level
+from repro.noise.coherent import (
+    coherent_overrotation_error,
+    random_phase_walk_error,
+    systematic_threshold_penalty,
+)
+from repro.noise.leakage import LeakageModel
+
+__all__ = [
+    "NoiseModel",
+    "CODE_CAPACITY",
+    "circuit_level",
+    "coherent_overrotation_error",
+    "random_phase_walk_error",
+    "systematic_threshold_penalty",
+    "LeakageModel",
+]

@@ -1,0 +1,80 @@
+"""Systematic (coherent) vs random errors (paper §6, first bullet).
+
+"Errors that have random phases accumulate like a random walk, so that the
+probability of error accumulates roughly linearly with the number of gates
+applied.  But if the errors have systematic phases, then the error
+*amplitude* can increase linearly with the number of gates applied."
+
+We model each gate as carrying a small over-rotation exp(-i θ X / 2).
+After N gates:
+
+* systematic (all rotations share the sign): total angle Nθ, failure
+  probability sin²(Nθ/2) ≈ (Nθ/2)² — quadratic in N;
+* random sign per gate: the accumulated angle performs a random walk with
+  variance Nθ², failure probability ≈ N θ²/4 — linear in N.
+
+Hence the threshold for maximally conspiratorial systematic errors is of
+order ε₀² when the random-error threshold is ε₀.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import as_rng
+
+__all__ = [
+    "coherent_overrotation_error",
+    "random_phase_walk_error",
+    "simulate_rotation_walk",
+    "systematic_threshold_penalty",
+]
+
+
+def coherent_overrotation_error(theta: float, n_gates: int) -> float:
+    """Exact failure probability after ``n_gates`` identical over-rotations
+    by ``theta``: sin²(N·θ/2)."""
+    if n_gates < 0:
+        raise ValueError("n_gates must be non-negative")
+    return float(np.sin(n_gates * theta / 2.0) ** 2)
+
+
+def random_phase_walk_error(theta: float, n_gates: int) -> float:
+    """Expected failure probability when each gate over-rotates by ±theta
+    with random sign: E[sin²(S/2)] where S is the walk sum.
+
+    Uses the exact identity E[sin²(S/2)] = (1 − E[cos S])/2 with
+    E[cos S] = cos(θ)^N for i.i.d. ± steps.
+    """
+    if n_gates < 0:
+        raise ValueError("n_gates must be non-negative")
+    return float((1.0 - np.cos(theta) ** n_gates) / 2.0)
+
+
+def simulate_rotation_walk(
+    theta: float,
+    n_gates: int,
+    trials: int,
+    systematic: bool,
+    seed: int | np.random.Generator | None = None,
+) -> float:
+    """Monte Carlo of the amplitude accumulation, averaging sin²(S/2).
+
+    With ``systematic=True`` all signs are +1 (returns the deterministic
+    value up to no sampling error); with ``False`` signs are ±1 uniform.
+    """
+    rng = as_rng(seed)
+    if systematic:
+        total = np.full(trials, n_gates * theta)
+    else:
+        signs = rng.choice(np.array([-1.0, 1.0]), size=(trials, n_gates))
+        total = signs.sum(axis=1) * theta
+    return float(np.mean(np.sin(total / 2.0) ** 2))
+
+
+def systematic_threshold_penalty(eps0: float) -> float:
+    """§6: if the random-error threshold is ε₀, the threshold for maximally
+    conspiratorial systematic errors is of order ε₀²."""
+    if not 0.0 <= eps0 <= 1.0:
+        raise ValueError("eps0 must be a probability")
+    return eps0 * eps0

@@ -1,0 +1,102 @@
+"""Leakage errors and their detection (paper §6, last bullet; Fig. 15).
+
+A leaked qubit has left its two-dimensional Hilbert space; gates acting on
+it act trivially (the assumption of Fig. 15's caption).  We track a boolean
+*leak flag* per qubit per shot, alongside the Pauli frame.  The Fig. 15
+interrogation circuit — whose measurement yields 0 iff the data qubit has
+leaked — lets the protocol discard the qubit and substitute a fresh |0>,
+converting the leak into a located (erasure-like) Pauli error that ordinary
+syndrome measurement then repairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import as_rng
+
+__all__ = ["LeakageModel"]
+
+
+@dataclass(frozen=True)
+class LeakageModel:
+    """Leakage rates.
+
+    Attributes
+    ----------
+    p_leak:
+        Probability per exposure (gate application or storage step) that an
+        unleaked qubit leaks out of the computational space.
+    p_detect_flip:
+        Probability the Fig. 15 detector misreports (either direction) —
+        the detector is built from the same noisy gates as everything else.
+    """
+
+    p_leak: float
+    p_detect_flip: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_leak <= 1.0:
+            raise ValueError("p_leak must be a probability")
+        if not 0.0 <= self.p_detect_flip <= 1.0:
+            raise ValueError("p_detect_flip must be a probability")
+
+    # ------------------------------------------------------------------
+    def expose(
+        self, leaked: np.ndarray, steps: int, rng: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Evolve leak flags through ``steps`` exposures, in place.
+
+        ``leaked`` is a boolean array of any shape; each unleaked entry
+        leaks with probability ``p_leak`` per step (leaks are absorbing).
+        """
+        gen = as_rng(rng)
+        for _ in range(steps):
+            fresh = gen.random(leaked.shape) < self.p_leak
+            leaked |= fresh
+        return leaked
+
+    def detect(
+        self, leaked: np.ndarray, rng: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Fig. 15 detector output per qubit: 0 = "leak detected".
+
+        Returns a uint8 array matching ``leaked``'s shape: the ideal
+        response 1−leaked, XORed with detector noise.
+        """
+        gen = as_rng(rng)
+        response = (~np.asarray(leaked, dtype=bool)).astype(np.uint8)
+        if self.p_detect_flip > 0:
+            response ^= (gen.random(response.shape) < self.p_detect_flip).astype(np.uint8)
+        return response
+
+    def replace_detected(
+        self,
+        leaked: np.ndarray,
+        detections: np.ndarray,
+        fx: np.ndarray,
+        fz: np.ndarray,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Swap detected qubits for fresh |0>'s (§6: "we replace it with a
+        fresh qubit in a standard state, say the state |0>").
+
+        The replacement clears the leak flag and the Pauli frame on that
+        qubit and leaves behind a *located* error: relative to the ideal
+        codeword the fresh |0> is wrong in an unknown-but-positioned way,
+        modeled as a uniformly random X/Z frame on that qubit (a fully
+        dephased/erased qubit).  Returns the number of replacements per
+        shot.
+        """
+        gen = as_rng(rng)
+        flagged = np.asarray(detections, dtype=np.uint8) == 0
+        replace = flagged & np.asarray(leaked, dtype=bool)
+        false_alarm = flagged & ~np.asarray(leaked, dtype=bool)
+        to_reset = replace | false_alarm
+        leaked &= ~to_reset
+        # Erasure: random Pauli relative to the code state at a known site.
+        fx[to_reset] = gen.integers(0, 2, size=int(to_reset.sum()), dtype=np.uint8)
+        fz[to_reset] = gen.integers(0, 2, size=int(to_reset.sum()), dtype=np.uint8)
+        return to_reset.sum(axis=-1)

@@ -1,0 +1,95 @@
+"""Stochastic Pauli error models for circuit-level Monte Carlo.
+
+The model follows §6 of the paper:
+
+* **Random, uncorrelated errors** — every fault location draws an
+  independent Pauli.
+* **Equally likely X/Y/Z** — the depolarizing choice made in §5: "the three
+  types of errors (bit flip, phase flip, both) are assumed to be equally
+  likely", with total per-step probability ε.
+* **Multi-qubit gates damage all their qubits** — the pessimistic assumption
+  of §5: "a faulty XOR gate introduces errors in both the source qubit and
+  the target qubit"; mode ``"both_damaged"`` draws an independent
+  non-identity Pauli on *each* touched qubit, mode ``"depolarizing15"``
+  draws one of the 15 nontrivial two-qubit Paulis uniformly.
+* **Storage errors** — ε_store per resting qubit per TICK.
+* **Faulty measurement and preparation** — outcome flips / wrong-state
+  preparations with their own rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["NoiseModel", "CODE_CAPACITY", "circuit_level"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Per-location error probabilities.
+
+    Attributes
+    ----------
+    eps_gate1: error probability per single-qubit gate application.
+    eps_gate2: error probability per two-qubit gate application.
+    eps_meas: probability a measurement outcome is recorded flipped.
+    eps_prep: probability a reset/preparation yields the orthogonal state.
+    eps_store: probability of a storage error per qubit per TICK.
+    two_qubit_mode: ``"both_damaged"`` (paper's pessimistic assumption) or
+        ``"depolarizing15"`` (uniform over the 15 nontrivial pair Paulis).
+    """
+
+    eps_gate1: float = 0.0
+    eps_gate2: float = 0.0
+    eps_meas: float = 0.0
+    eps_prep: float = 0.0
+    eps_store: float = 0.0
+    two_qubit_mode: str = "both_damaged"
+
+    def __post_init__(self) -> None:
+        for name in ("eps_gate1", "eps_gate2", "eps_meas", "eps_prep", "eps_store"):
+            val = getattr(self, name)
+            if not 0.0 <= val <= 1.0:
+                raise ValueError(f"{name}={val} is not a probability")
+        if self.two_qubit_mode not in ("both_damaged", "depolarizing15"):
+            raise ValueError(f"unknown two_qubit_mode {self.two_qubit_mode!r}")
+
+    def scaled(self, factor: float) -> "NoiseModel":
+        """All rates multiplied by ``factor`` (clipped to 1)."""
+        return replace(
+            self,
+            eps_gate1=min(1.0, self.eps_gate1 * factor),
+            eps_gate2=min(1.0, self.eps_gate2 * factor),
+            eps_meas=min(1.0, self.eps_meas * factor),
+            eps_prep=min(1.0, self.eps_prep * factor),
+            eps_store=min(1.0, self.eps_store * factor),
+        )
+
+    @property
+    def is_trivial(self) -> bool:
+        return (
+            self.eps_gate1 == 0
+            and self.eps_gate2 == 0
+            and self.eps_meas == 0
+            and self.eps_prep == 0
+            and self.eps_store == 0
+        )
+
+
+def CODE_CAPACITY(eps: float) -> NoiseModel:
+    """Storage noise only — the §2 setting where encoding/recovery are
+    flawless and each stored qubit errs with probability ε per step."""
+    return NoiseModel(eps_store=eps)
+
+
+def circuit_level(eps: float, storage_ratio: float = 1.0, meas_ratio: float = 1.0) -> NoiseModel:
+    """The standard circuit-level model used for threshold estimation:
+    every location (gates of both arities, measurement, preparation) fails
+    at rate ε; storage at ``storage_ratio``·ε."""
+    return NoiseModel(
+        eps_gate1=eps,
+        eps_gate2=eps,
+        eps_meas=min(1.0, meas_ratio * eps),
+        eps_prep=eps,
+        eps_store=min(1.0, storage_ratio * eps),
+    )

@@ -1,0 +1,14 @@
+"""Vectorized Pauli-frame Monte Carlo engine (the threshold workhorse).
+
+Fault-tolerant circuits in this paper are Clifford circuits, so an error
+history is fully described by a Pauli *frame* — which X and Z errors are
+currently attached to each qubit relative to the noiseless reference run.
+Frames propagate through Clifford gates linearly and can be simulated for
+many shots at once as boolean matrices; this is how laptop-scale threshold
+Monte Carlo becomes feasible (the same trick modern tools like Stim use,
+implemented here from scratch on NumPy).
+"""
+
+from repro.pauliframe.engine import FrameResult, FrameSimulator
+
+__all__ = ["FrameResult", "FrameSimulator"]

@@ -1,0 +1,10 @@
+"""Pauli-operator algebra in the symplectic binary representation (§3.6).
+
+An n-qubit Pauli is written P = i^phase · X^x · Z^z with x, z ∈ GF(2)^n;
+commutation, multiplication, and weight are all binary linear algebra, which
+is what makes stabilizer codes classically tractable.
+"""
+
+from repro.paulis.pauli import Pauli, pauli_from_string, symplectic_product
+
+__all__ = ["Pauli", "pauli_from_string", "symplectic_product"]

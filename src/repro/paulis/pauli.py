@@ -1,0 +1,179 @@
+"""n-qubit Pauli operators as symplectic binary vectors.
+
+Representation: P = (-i)^(x·z) · i^phase · prod_j X_j^{x_j} Z_j^{z_j}, where
+``x`` and ``z`` are uint8 vectors and ``phase`` counts powers of i mod 4.
+Under this convention the single-qubit letters are
+
+    I = (x=0, z=0)   X = (1, 0)   Z = (0, 1)   Y = (1, 1) with phase 1,
+
+i.e. Y = iXZ, matching Eq. (5) of the paper up to the standard Hermitian
+phase (the paper uses Y ≡ X·Z; we track the i so products are exact).
+
+Two Paulis commute iff their symplectic product x1·z2 + z1·x2 vanishes
+mod 2 — the fact underlying stabilizer syndrome extraction (§3.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Pauli", "pauli_from_string", "symplectic_product"]
+
+_LETTER_TO_XZ = {"I": (0, 0), "X": (1, 0), "Z": (0, 1), "Y": (1, 1)}
+_XZ_TO_LETTER = {(0, 0): "I", (1, 0): "X", (0, 1): "Z", (1, 1): "Y"}
+_PHASE_STR = {0: "+", 1: "+i", 2: "-", 3: "-i"}
+
+
+def symplectic_product(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray) -> int:
+    """Symplectic inner product mod 2; zero iff the Paulis commute."""
+    return int((np.sum(x1 & z2) + np.sum(z1 & x2)) % 2)
+
+
+class Pauli:
+    """Immutable n-qubit Pauli operator.
+
+    Attributes
+    ----------
+    x, z:
+        uint8 arrays of length n marking X- and Z-type support.
+    phase:
+        Power of i in front of the canonical X^x Z^z product, mod 4.
+    """
+
+    __slots__ = ("x", "z", "phase")
+
+    def __init__(self, x: np.ndarray, z: np.ndarray, phase: int = 0) -> None:
+        xa = np.asarray(x).astype(np.uint8).ravel() & 1
+        za = np.asarray(z).astype(np.uint8).ravel() & 1
+        if xa.shape != za.shape:
+            raise ValueError("x and z must have equal length")
+        object.__setattr__(self, "x", xa)
+        object.__setattr__(self, "z", za)
+        object.__setattr__(self, "phase", int(phase) % 4)
+
+    def __setattr__(self, *_: object) -> None:  # pragma: no cover - guard
+        raise AttributeError("Pauli is immutable")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "Pauli":
+        return cls(np.zeros(n, dtype=np.uint8), np.zeros(n, dtype=np.uint8))
+
+    @classmethod
+    def single(cls, n: int, qubit: int, letter: str) -> "Pauli":
+        """A single-qubit letter ('X','Y','Z','I') embedded in n qubits."""
+        if letter not in _LETTER_TO_XZ:
+            raise ValueError(f"unknown Pauli letter {letter!r}")
+        x = np.zeros(n, dtype=np.uint8)
+        z = np.zeros(n, dtype=np.uint8)
+        xv, zv = _LETTER_TO_XZ[letter]
+        x[qubit], z[qubit] = xv, zv
+        phase = 1 if letter == "Y" else 0
+        return cls(x, z, phase)
+
+    # -- basic properties ------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self.x.shape[0])
+
+    def weight(self) -> int:
+        """Number of qubits on which the operator is not the identity."""
+        return int(np.sum(self.x | self.z))
+
+    def is_identity(self) -> bool:
+        return self.weight() == 0 and self.phase == 0
+
+    def commutes_with(self, other: "Pauli") -> bool:
+        self._check_compatible(other)
+        return symplectic_product(self.x, self.z, other.x, other.z) == 0
+
+    def _check_compatible(self, other: "Pauli") -> None:
+        if self.n != other.n:
+            raise ValueError(f"qubit count mismatch: {self.n} vs {other.n}")
+
+    # -- algebra ----------------------------------------------------------
+    def __mul__(self, other: "Pauli") -> "Pauli":
+        """Exact operator product, tracking the i^phase bookkeeping.
+
+        Using P = i^p X^x Z^z, moving other's X past self's Z contributes
+        (-1)^(z1·x2) = i^(2 z1·x2).
+        """
+        self._check_compatible(other)
+        phase = (self.phase + other.phase + 2 * int(np.sum(self.z & other.x))) % 4
+        return Pauli(self.x ^ other.x, self.z ^ other.z, phase)
+
+    def conjugate_phase(self) -> "Pauli":
+        """Hermitian conjugate (Paulis are self-inverse up to phase)."""
+        # (i^p X^x Z^z)^dagger = i^{-p} Z^z X^x = i^{-p} (-1)^{x.z} X^x Z^z
+        phase = (-self.phase + 2 * int(np.sum(self.x & self.z))) % 4
+        return Pauli(self.x, self.z, phase)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pauli):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.phase == other.phase
+            and bool(np.all(self.x == other.x))
+            and bool(np.all(self.z == other.z))
+        )
+
+    def equal_up_to_phase(self, other: "Pauli") -> bool:
+        self._check_compatible(other)
+        return bool(np.all(self.x == other.x) and np.all(self.z == other.z))
+
+    def __hash__(self) -> int:
+        return hash((self.x.tobytes(), self.z.tobytes(), self.phase))
+
+    # -- rendering ----------------------------------------------------------
+    def letters(self) -> str:
+        return "".join(_XZ_TO_LETTER[(int(a), int(b))] for a, b in zip(self.x, self.z))
+
+    def __repr__(self) -> str:
+        # Fold the XZ->Y phase back in for display: each Y site carries i.
+        y_count = int(np.sum(self.x & self.z))
+        display_phase = (self.phase - y_count) % 4
+        return f"{_PHASE_STR[display_phase]}{self.letters()}"
+
+    # -- dense matrix (for validation against the statevector simulator) ----
+    def to_matrix(self) -> np.ndarray:
+        """Dense 2^n x 2^n complex matrix.  Only for small n."""
+        if self.n > 12:
+            raise ValueError("refusing to build a dense matrix for n > 12")
+        eye = np.eye(2, dtype=complex)
+        mx = np.array([[0, 1], [1, 0]], dtype=complex)
+        mz = np.array([[1, 0], [0, -1]], dtype=complex)
+        out = np.array([[1]], dtype=complex)
+        for xi, zi in zip(self.x, self.z):
+            local = eye
+            if xi and zi:
+                local = mx @ mz
+            elif xi:
+                local = mx
+            elif zi:
+                local = mz
+            out = np.kron(out, local)
+        return (1j**self.phase) * out
+
+
+def pauli_from_string(spec: str) -> Pauli:
+    """Parse strings like ``"XIZZY"`` or ``"-iXYZ"`` into a :class:`Pauli`.
+
+    The optional prefix is one of ``+ - +i -i i``; the remainder must be
+    letters from {I, X, Y, Z} (case-insensitive).
+    """
+    s = spec.strip()
+    phase = 0
+    for prefix, ph in (("-i", 3), ("+i", 1), ("i", 1), ("-", 2), ("+", 0)):
+        if s.startswith(prefix):
+            phase = ph
+            s = s[len(prefix) :]
+            break
+    s = s.upper()
+    if not s or any(c not in _LETTER_TO_XZ for c in s):
+        raise ValueError(f"invalid Pauli string {spec!r}")
+    n = len(s)
+    out = Pauli.identity(n)
+    for q, letter in enumerate(s):
+        out = out * Pauli.single(n, q, letter)
+    return Pauli(out.x, out.z, (out.phase + phase) % 4)

@@ -1,0 +1,11 @@
+"""Stabilizer (Clifford) simulation via binary tableaux.
+
+The paper's codes, syndrome-extraction circuits, and transversal gates are
+all Clifford objects; a tableau simulator verifies them at widths the dense
+simulator cannot reach (e.g. the full Fig. 9 recovery circuit with two
+14-qubit ancilla rounds).
+"""
+
+from repro.stabilizer.tableau import StabilizerSimulator
+
+__all__ = ["StabilizerSimulator"]

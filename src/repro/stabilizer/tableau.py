@@ -1,0 +1,306 @@
+"""Aaronson–Gottesman CHP tableau simulator.
+
+State is tracked as 2n generators (n destabilizers + n stabilizers) in a
+binary (x|z|r) tableau; Clifford gates are column updates and measurement is
+row reduction — O(n^2) per measurement, entirely vectorized row operations.
+
+Reference update rules follow Aaronson & Gottesman, "Improved simulation of
+stabilizer circuits" (2004); this is an independent implementation on NumPy
+uint8 matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.paulis.pauli import Pauli
+from repro.util.rng import as_rng
+
+__all__ = ["StabilizerSimulator"]
+
+
+class StabilizerSimulator:
+    """Pure stabilizer state on ``num_qubits`` qubits, initially |0...0>."""
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        n = num_qubits
+        self.n = n
+        # Rows 0..n-1: destabilizers (initially X_i); rows n..2n-1:
+        # stabilizers (initially Z_i).  Extra scratch row 2n for measurement.
+        self.x = np.zeros((2 * n + 1, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n + 1, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n + 1, dtype=np.uint8)
+        self.x[np.arange(n), np.arange(n)] = 1
+        self.z[n + np.arange(n), np.arange(n)] = 1
+
+    # -- gates -----------------------------------------------------------
+    def h(self, a: int) -> None:
+        self.r ^= self.x[:, a] & self.z[:, a]
+        self.x[:, a], self.z[:, a] = self.z[:, a].copy(), self.x[:, a].copy()
+
+    def s(self, a: int) -> None:
+        self.r ^= self.x[:, a] & self.z[:, a]
+        self.z[:, a] ^= self.x[:, a]
+
+    def sdg(self, a: int) -> None:
+        # S^3 = S†
+        self.s(a)
+        self.s(a)
+        self.s(a)
+
+    def x_gate(self, a: int) -> None:
+        self.r ^= self.z[:, a]
+
+    def z_gate(self, a: int) -> None:
+        self.r ^= self.x[:, a]
+
+    def y_gate(self, a: int) -> None:
+        self.r ^= self.x[:, a] ^ self.z[:, a]
+
+    def cnot(self, a: int, b: int) -> None:
+        self.r ^= self.x[:, a] & self.z[:, b] & (self.x[:, b] ^ self.z[:, a] ^ 1)
+        self.x[:, b] ^= self.x[:, a]
+        self.z[:, a] ^= self.z[:, b]
+
+    def cz(self, a: int, b: int) -> None:
+        self.h(b)
+        self.cnot(a, b)
+        self.h(b)
+
+    def swap(self, a: int, b: int) -> None:
+        self.cnot(a, b)
+        self.cnot(b, a)
+        self.cnot(a, b)
+
+    def rprime(self, a: int) -> None:
+        # R' of Eq. (20) equals e^{iπ/4}·√X† = H·S†·H up to global phase;
+        # it conjugates Y -> -Z, turning Y-type checks into Z-type readout.
+        self.h(a)
+        self.sdg(a)
+        self.h(a)
+
+    # -- measurement -------------------------------------------------------
+    def _rowsum(self, h: int, i: int) -> None:
+        """Row h *= row i, with exact phase tracking (the g-function)."""
+        x1, z1 = self.x[i], self.z[i]
+        x2, z2 = self.x[h], self.z[h]
+        x1i, z1i = x1.astype(np.int64), z1.astype(np.int64)
+        x2i, z2i = x2.astype(np.int64), z2.astype(np.int64)
+        g = (
+            x1i * z1i * (z2i - x2i)
+            + x1i * (1 - z1i) * z2i * (2 * x2i - 1)
+            + (1 - x1i) * z1i * x2i * (1 - 2 * z2i)
+        ).sum()
+        total = (2 * int(self.r[h]) + 2 * int(self.r[i]) + int(g)) % 4
+        self.r[h] = np.uint8(total // 2)
+        self.x[h] = x1 ^ x2
+        self.z[h] = z1 ^ z2
+
+    def measure(
+        self,
+        a: int,
+        rng: np.random.Generator | None = None,
+        force: int | None = None,
+    ) -> int:
+        """Projective Z measurement on qubit ``a``."""
+        n = self.n
+        stab_x = self.x[n : 2 * n, a]
+        anticommuting = np.nonzero(stab_x)[0]
+        if anticommuting.size:
+            p = n + int(anticommuting[0])
+            # Random outcome.
+            if force is not None:
+                outcome = int(force)
+            else:
+                outcome = int(as_rng(rng).integers(0, 2))
+            rows = np.nonzero(self.x[: 2 * n, a])[0]
+            for i in rows:
+                if i != p:
+                    self._rowsum(int(i), p)
+            # Destabilizer p-n := old stabilizer p; stabilizer p := ±Z_a.
+            self.x[p - n] = self.x[p]
+            self.z[p - n] = self.z[p]
+            self.r[p - n] = self.r[p]
+            self.x[p] = 0
+            self.z[p] = 0
+            self.z[p, a] = 1
+            self.r[p] = np.uint8(outcome)
+            return outcome
+        # Deterministic outcome: accumulate into scratch row 2n.
+        self.x[2 * n] = 0
+        self.z[2 * n] = 0
+        self.r[2 * n] = 0
+        for i in range(n):
+            if self.x[i, a]:
+                self._rowsum(2 * n, i + n)
+        outcome = int(self.r[2 * n])
+        if force is not None and force != outcome:
+            raise ValueError(f"forced outcome {force} but measurement is deterministically {outcome}")
+        return outcome
+
+    def reset(self, a: int, rng: np.random.Generator | None = None) -> None:
+        if self.measure(a, rng) == 1:
+            self.x_gate(a)
+
+    def measure_pauli(
+        self,
+        pauli: Pauli,
+        rng: np.random.Generator | None = None,
+        force: int | None = None,
+    ) -> int:
+        """Projective measurement of an arbitrary Hermitian Pauli.
+
+        Generalizes the CHP single-qubit measurement: rows anticommuting
+        with P are identified by the symplectic product; if a stabilizer
+        row anticommutes the outcome is random and P (with the outcome
+        sign) replaces that row, otherwise the outcome is the deterministic
+        expectation.  This is the workhorse of preparation-by-measurement
+        (§3.5: "error correction will project it onto the space spanned by
+        {|0̄>, |1̄>}").
+        """
+        if pauli.n != self.n:
+            raise ValueError("Pauli size mismatch")
+        if (pauli.phase - int(np.sum(pauli.x & pauli.z))) % 2 != 0:
+            raise ValueError(f"{pauli!r} is not Hermitian")
+        n = self.n
+        px64 = pauli.x.astype(np.int64)
+        pz64 = pauli.z.astype(np.int64)
+        anti = (
+            self.x[: 2 * n].astype(np.int64) @ pz64
+            + self.z[: 2 * n].astype(np.int64) @ px64
+        ) % 2
+        stab_anti = np.nonzero(anti[n:])[0]
+        if stab_anti.size == 0:
+            value = self.pauli_expectation(pauli)
+            if value is None:  # pragma: no cover - impossible for pure states
+                raise AssertionError("commuting Pauli with indeterminate value")
+            outcome = 0 if value == 1 else 1
+            if force is not None and force != outcome:
+                raise ValueError(f"forced {force} but outcome is deterministically {outcome}")
+            return outcome
+        p = n + int(stab_anti[0])
+        outcome = int(force) if force is not None else int(as_rng(rng).integers(0, 2))
+        for i in np.nonzero(anti)[0]:
+            if int(i) != p:
+                self._rowsum(int(i), p)
+        # Destabilizer p−n := old stabilizer row p; stabilizer row p := ±P.
+        self.x[p - n] = self.x[p]
+        self.z[p - n] = self.z[p]
+        self.r[p - n] = self.r[p]
+        self.x[p] = pauli.x
+        self.z[p] = pauli.z
+        # Row phase r counts -1's relative to the canonical i^{#Y} form.
+        y_count = int(np.sum(pauli.x & pauli.z))
+        base_phase = (pauli.phase - y_count) % 4
+        if base_phase not in (0, 2):  # pragma: no cover - Hermitian guard above
+            raise AssertionError("non-real Hermitian phase")
+        self.r[p] = np.uint8(((base_phase // 2) + outcome) % 2)
+        return outcome
+
+    # -- queries -----------------------------------------------------------
+    def stabilizer_generators(self) -> list[Pauli]:
+        """The n stabilizer rows as signed Pauli operators."""
+        out = []
+        for i in range(self.n, 2 * self.n):
+            out.append(self._row_pauli(i))
+        return out
+
+    def _row_pauli(self, row: int) -> Pauli:
+        # Row phase r counts factors of -1; each Y site carries the i from
+        # Y = iXZ, so the canonical X^x Z^z phase is 2r + (#Y) mod 4.
+        y_count = int(np.sum(self.x[row] & self.z[row]))
+        return Pauli(self.x[row], self.z[row], (2 * int(self.r[row]) + y_count) % 4)
+
+    def pauli_expectation(self, pauli: Pauli) -> int | None:
+        """<P> for a Pauli: +1 / -1 when deterministic, ``None`` if random.
+
+        P has a definite value iff it (up to sign) is a product of
+        stabilizer rows; the sign comes from exact Pauli multiplication.
+        """
+        if pauli.n != self.n:
+            raise ValueError("Pauli size mismatch")
+        # P = i^p X^x Z^z is Hermitian iff p ≡ x·z (mod 2); only Hermitian
+        # operators have real expectation values.
+        if (pauli.phase - int(np.sum(pauli.x & pauli.z))) % 2 != 0:
+            raise ValueError(f"{pauli!r} is not Hermitian; expectation undefined")
+        n = self.n
+        # P commutes with every stabilizer iff expectation is deterministic.
+        sx = self.x[n : 2 * n]
+        sz = self.z[n : 2 * n]
+        anti = ((sx @ pauli.z.astype(np.int64)) + (sz @ pauli.x.astype(np.int64))) % 2
+        if np.any(anti):
+            return None
+        # Solve for the combination of stabilizer rows equal to P's (x|z).
+        from repro.gf2 import gf2_solve
+
+        mat = np.concatenate([sx, sz], axis=1).T  # (2n, n): columns are rows' symplectic vecs
+        target = np.concatenate([pauli.x, pauli.z])
+        combo = gf2_solve(mat, target)
+        if combo is None:
+            # Commutes with the group but not in it: expectation 0 is not
+            # possible for stabilizer states unless P acts on the codespace
+            # nontrivially; report None (indeterminate).
+            return None
+        prod = Pauli.identity(n)
+        for i in np.nonzero(combo)[0]:
+            prod = prod * self._row_pauli(n + int(i))
+        if prod.equal_up_to_phase(pauli):
+            diff = (pauli.phase - prod.phase) % 4
+            if diff == 0:
+                return 1
+            if diff == 2:
+                return -1
+        raise AssertionError("inconsistent tableau phase bookkeeping")
+
+    # -- circuit execution ---------------------------------------------------
+    _GATE_DISPATCH = {
+        "H": "h",
+        "S": "s",
+        "SDG": "sdg",
+        "X": "x_gate",
+        "Y": "y_gate",
+        "Z": "z_gate",
+        "CNOT": "cnot",
+        "CZ": "cz",
+        "SWAP": "swap",
+        "RPRIME": "rprime",
+        "I": None,
+    }
+
+    def run(
+        self,
+        circuit: Circuit,
+        rng: int | np.random.Generator | None = None,
+        forced_outcomes: dict[int, int] | None = None,
+    ) -> dict[int, int]:
+        """Execute a Clifford circuit; returns the classical record."""
+        gen = as_rng(rng)
+        record: dict[int, int] = {}
+        forced = forced_outcomes or {}
+        for op in circuit:
+            if op.gate == "TICK":
+                continue
+            if op.condition:
+                parity = 0
+                for c in op.condition:
+                    parity ^= record.get(c, 0)
+                if parity == 0:
+                    continue
+            if op.gate == "M":
+                record[op.cbits[0]] = self.measure(op.qubits[0], gen, force=forced.get(op.cbits[0]))
+            elif op.gate == "MX":
+                self.h(op.qubits[0])
+                record[op.cbits[0]] = self.measure(op.qubits[0], gen, force=forced.get(op.cbits[0]))
+                self.h(op.qubits[0])
+            elif op.gate == "R":
+                self.reset(op.qubits[0], gen)
+            else:
+                method = self._GATE_DISPATCH.get(op.gate, "missing")
+                if method == "missing":
+                    raise ValueError(f"gate {op.gate!r} is not Clifford-simulable here")
+                if method is not None:
+                    getattr(self, method)(*op.qubits)
+        return record

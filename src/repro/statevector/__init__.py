@@ -1,0 +1,12 @@
+"""Exact dense statevector simulation (small systems).
+
+Used to validate the library against the paper's algebra: the encoder of
+Fig. 3 must produce exactly Eq. (6)/(7), transversal Hadamards must realize
+Eq. (11), the Toffoli gadget of Fig. 13 must implement |x,y,z> -> |x,y,z⊕xy>,
+and coherent-error accumulation (§6, random vs systematic) needs amplitudes,
+not just Pauli frames.
+"""
+
+from repro.statevector.simulator import StateVector, run_circuit
+
+__all__ = ["StateVector", "run_circuit"]

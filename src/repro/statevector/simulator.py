@@ -1,0 +1,189 @@
+"""Dense simulator over (2,)*n tensors.
+
+Gate application follows the standard tensordot/moveaxis contraction (no
+per-amplitude Python loops); memory is the only limit (~20 qubits).  The
+simulator executes the shared :class:`repro.circuits.Circuit` IR including
+parity-conditioned operations, so fault-tolerant gadgets can be checked
+exactly against their intended logical action.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, Operation
+from repro.circuits.gates import gate_matrix
+from repro.util.rng import as_rng
+
+__all__ = ["StateVector", "run_circuit"]
+
+_H = gate_matrix("H")
+
+
+class StateVector:
+    """Mutable n-qubit pure state.
+
+    Qubit 0 is the most significant bit of the computational index, so
+    ``state.amplitudes()[0b101]`` is the amplitude of |101> with qubit 0 in
+    state |1> — matching the left-to-right ket notation of the paper.
+    """
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        if num_qubits > 20:
+            raise ValueError("dense simulation beyond 20 qubits is not supported")
+        self.num_qubits = num_qubits
+        self._state = np.zeros((2,) * num_qubits, dtype=complex)
+        self._state[(0,) * num_qubits] = 1.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_amplitudes(cls, amps: np.ndarray) -> "StateVector":
+        arr = np.asarray(amps, dtype=complex).ravel()
+        n = int(np.log2(arr.size))
+        if 2**n != arr.size:
+            raise ValueError("amplitude vector length must be a power of two")
+        sv = cls(n)
+        norm = np.linalg.norm(arr)
+        if norm == 0:
+            raise ValueError("zero vector is not a state")
+        sv._state = (arr / norm).reshape((2,) * n)
+        return sv
+
+    def amplitudes(self) -> np.ndarray:
+        """Flat copy of the 2^n amplitude vector."""
+        return self._state.reshape(-1).copy()
+
+    def copy(self) -> "StateVector":
+        sv = StateVector(self.num_qubits)
+        sv._state = self._state.copy()
+        return sv
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._state))
+
+    # ------------------------------------------------------------------
+    def apply_unitary(self, u: np.ndarray, qubits: tuple[int, ...]) -> None:
+        """Apply a 2^k x 2^k unitary to the named qubits (in order)."""
+        k = len(qubits)
+        if u.shape != (2**k, 2**k):
+            raise ValueError(f"unitary shape {u.shape} does not match {k} qubits")
+        tensor = u.reshape((2,) * (2 * k))
+        moved = np.tensordot(tensor, self._state, axes=(tuple(range(k, 2 * k)), qubits))
+        self._state = np.moveaxis(moved, tuple(range(k)), qubits)
+
+    def apply_gate(self, name: str, *qubits: int) -> None:
+        self.apply_unitary(gate_matrix(name), tuple(qubits))
+
+    # ------------------------------------------------------------------
+    def probability_of_zero(self, qubit: int) -> float:
+        """P(measuring |0>) on ``qubit``."""
+        amps = np.moveaxis(self._state, qubit, 0)
+        return float(np.sum(np.abs(amps[0]) ** 2))
+
+    def measure(
+        self,
+        qubit: int,
+        rng: np.random.Generator | None = None,
+        force: int | None = None,
+    ) -> int:
+        """Projective Z measurement; collapses the state in place.
+
+        ``force`` postselects the given outcome (raising when its
+        probability is negligible) — used by deterministic gadget tests.
+        """
+        p0 = self.probability_of_zero(qubit)
+        if force is not None:
+            outcome = int(force)
+            prob = p0 if outcome == 0 else 1.0 - p0
+            if prob < 1e-12:
+                raise ValueError(f"forced outcome {outcome} has probability ~0")
+        else:
+            gen = as_rng(rng)
+            outcome = int(gen.random() >= p0)
+            prob = p0 if outcome == 0 else 1.0 - p0
+        amps = np.moveaxis(self._state, qubit, 0)
+        amps[1 - outcome] = 0.0
+        self._state /= np.sqrt(prob)
+        return outcome
+
+    def reset(self, qubit: int, rng: np.random.Generator | None = None) -> None:
+        outcome = self.measure(qubit, rng)
+        if outcome == 1:
+            self.apply_gate("X", qubit)
+
+    # ------------------------------------------------------------------
+    def fidelity(self, other: "StateVector | np.ndarray") -> float:
+        """|<self|other>|^2 — Eq. (14)'s pure-state fidelity."""
+        if isinstance(other, StateVector):
+            vec = other.amplitudes()
+        else:
+            vec = np.asarray(other, dtype=complex).ravel()
+        mine = self.amplitudes()
+        if vec.size != mine.size:
+            raise ValueError("dimension mismatch in fidelity")
+        return float(np.abs(np.vdot(mine, vec)) ** 2)
+
+    def expectation_pauli(self, pauli: "np.ndarray | object") -> float:
+        """<psi| P |psi> for a repro.paulis.Pauli or dense matrix."""
+        mat = pauli.to_matrix() if hasattr(pauli, "to_matrix") else np.asarray(pauli)
+        vec = self.amplitudes()
+        return float(np.real(np.vdot(vec, mat @ vec)))
+
+
+def run_circuit(
+    circuit: Circuit,
+    state: StateVector | None = None,
+    rng: int | np.random.Generator | None = None,
+    forced_outcomes: dict[int, int] | None = None,
+) -> tuple[StateVector, dict[int, int]]:
+    """Execute a circuit; returns the final state and the classical record.
+
+    Parameters
+    ----------
+    forced_outcomes:
+        Map cbit -> outcome to postselect specific measurement results
+        (deterministic verification of measurement-based gadgets).
+    """
+    gen = as_rng(rng)
+    sv = state if state is not None else StateVector(circuit.num_qubits)
+    if sv.num_qubits != circuit.num_qubits:
+        raise ValueError("state size does not match circuit")
+    record: dict[int, int] = {}
+    forced = forced_outcomes or {}
+    for op in circuit:
+        if op.gate == "TICK":
+            continue
+        if op.condition and _parity(record, op.condition) == 0:
+            continue
+        _execute(sv, op, gen, record, forced)
+    return sv, record
+
+
+def _parity(record: dict[int, int], cbits: tuple[int, ...]) -> int:
+    total = 0
+    for c in cbits:
+        total ^= record.get(c, 0)
+    return total
+
+
+def _execute(
+    sv: StateVector,
+    op: Operation,
+    gen: np.random.Generator,
+    record: dict[int, int],
+    forced: dict[int, int],
+) -> None:
+    if op.gate == "M":
+        cbit = op.cbits[0]
+        record[cbit] = sv.measure(op.qubits[0], gen, force=forced.get(cbit))
+    elif op.gate == "MX":
+        cbit = op.cbits[0]
+        sv.apply_unitary(_H, (op.qubits[0],))
+        record[cbit] = sv.measure(op.qubits[0], gen, force=forced.get(cbit))
+        sv.apply_unitary(_H, (op.qubits[0],))
+    elif op.gate == "R":
+        sv.reset(op.qubits[0], gen)
+    else:
+        sv.apply_gate(op.gate, *op.qubits)

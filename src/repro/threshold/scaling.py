@@ -1,0 +1,90 @@
+"""Code-family scaling without concatenation (paper §5, Eqs. 30–32, 37).
+
+For a family correcting t errors whose syndrome measurement takes ~t^b
+steps, errors accumulate during recovery and
+
+    Block Error Probability ~ (t^b ε)^(t+1)         (Eq. 30)
+
+Optimizing over t (t* ≈ e⁻¹ ε^(−1/b)) gives
+
+    Minimum Block Error ~ exp(−e⁻¹ b ε^(−1/b))      (Eq. 31)
+
+so completing T error-correction cycles demands gate accuracy
+
+    ε ~ (log T)^(−b)                                 (Eq. 32)
+
+— polylogarithmic, far better than the ε ~ 1/T of no coding, but still not
+arbitrary-length computation; that requires concatenation (Eq. 36/37).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "block_error_probability",
+    "optimal_t",
+    "minimum_block_error",
+    "required_accuracy",
+    "block_size_required",
+]
+
+
+def block_error_probability(t: int, eps: float, b: float = 4.0) -> float:
+    """Eq. (30): probability that t+1 errors accumulate before the
+    t^b-step syndrome measurement completes: (t^b · ε)^(t+1)."""
+    if t < 1:
+        raise ValueError("t must be >= 1")
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    return min(1.0, float((t**b * eps) ** (t + 1)))
+
+
+def optimal_t(eps: float, b: float = 4.0) -> float:
+    """The error-minimizing t ≈ e⁻¹ ε^(−1/b) (continuous approximation)."""
+    if not 0 < eps < 1:
+        raise ValueError("eps must lie in (0, 1)")
+    return float(math.exp(-1.0) * eps ** (-1.0 / b))
+
+
+def minimum_block_error(eps: float, b: float = 4.0) -> float:
+    """Eq. (31): exp(−e⁻¹ · b · ε^(−1/b))."""
+    if not 0 < eps < 1:
+        raise ValueError("eps must lie in (0, 1)")
+    return float(math.exp(-math.exp(-1.0) * b * eps ** (-1.0 / b)))
+
+
+def required_accuracy(T: float, b: float = 4.0) -> float:
+    """Eq. (32): gate accuracy ε ~ (log T)^(−b) needed to survive T cycles.
+
+    Derived by setting T · minimum_block_error(ε) ~ 1.
+    """
+    if T <= 1:
+        raise ValueError("T must exceed 1")
+    # Invert exp(-e^{-1} b eps^{-1/b}) = 1/T exactly, then present the
+    # paper's leading behaviour.
+    return float((math.exp(1.0) * math.log(T) / b) ** (-b))
+
+
+def block_size_required(
+    eps: float,
+    eps0: float,
+    T: float,
+    inner_block: int = 7,
+    inner_t: int = 1,
+) -> float:
+    """Eq. (37): concatenated block size needed for a T-gate computation,
+
+        [ log(ε₀ T) / log(ε₀/ε) ] ^ (log n / log(t+1))
+
+    with exponent log₂7 ≈ 2.8 for the Steane code (n = 7, t = 1); the
+    paper notes the exponent approaches 2 for Shor's family and could
+    approach 1 for "good" codes.
+    """
+    if not 0 < eps < eps0:
+        raise ValueError("eps must lie strictly below the threshold eps0")
+    if T <= 1:
+        raise ValueError("T must exceed 1")
+    exponent = math.log(inner_block) / math.log(inner_t + 1)
+    ratio = math.log(eps0 * T) / math.log(eps0 / eps)
+    return float(max(1.0, ratio) ** exponent)

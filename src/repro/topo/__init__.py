@@ -1,0 +1,40 @@
+"""Topological quantum computation (paper §7).
+
+Kitaev's proposal in executable form: finite-group flux/charge quantum
+numbers (§7.3), fluxon-pair registers with the exchange/pull-through
+interactions of Eqs. 40–41, Mach–Zehnder flux and charge interferometry
+(Figs. 18/22), the A₅ computational encoding of Eq. 45 with the NOT gate of
+Fig. 21 and a bounded-depth pull-through gate compiler, the e^{−mL} /
+e^{−Δ/T} error phenomenology of §7.1, and the Z₂ lattice model (toric
+code) with homology, braiding, and an MWPM-decoded topological memory.
+"""
+
+from repro.topo.groups import FiniteGroup, PermutationGroup, cycles
+from repro.topo.anyons import FluxPairRegister
+from repro.topo.interferometer import FluxInterferometer, ChargeInterferometer
+from repro.topo.gates import (
+    A5_COMPUTATIONAL_BASIS,
+    A5_NOT_FLUX,
+    PullThroughCompiler,
+    toffoli_feasibility_report,
+)
+from repro.topo.thermal import TopologicalErrorModel
+from repro.topo.toric import ToricCode
+from repro.topo.decoder import MWPMDecoder, toric_memory_experiment
+
+__all__ = [
+    "FiniteGroup",
+    "PermutationGroup",
+    "cycles",
+    "FluxPairRegister",
+    "FluxInterferometer",
+    "ChargeInterferometer",
+    "A5_COMPUTATIONAL_BASIS",
+    "A5_NOT_FLUX",
+    "PullThroughCompiler",
+    "toffoli_feasibility_report",
+    "TopologicalErrorModel",
+    "ToricCode",
+    "MWPMDecoder",
+    "toric_memory_experiment",
+]

@@ -1,0 +1,184 @@
+"""Anyonic logic gates by conjugation (paper §7.4).
+
+The computational encoding (Eq. 45): basis fluxes u₀ = (125), u₁ = (234) —
+three-cycles in A₅ sharing one object.  The published constructions:
+
+* NOT (Fig. 21): one pull-through with v = (14)(35), since v⁻¹u₀v = u₁ and
+  v⁻¹u₁v = u₀;
+* Toffoli: 16 pull-throughs + 6 catalytic ancilla pairs; Z: 6 steps + 4
+  pairs; controlled-ωY: 31 steps + 7 pairs — all from *unpublished* work
+  (ref. 65), so the exact sequences are not in the paper.
+
+What we can verify from first principles is provided here: the NOT gate,
+the group-theoretic universality criterion (A₅ is perfect; every smaller
+candidate is solvable), and :class:`PullThroughCompiler`, a breadth-first
+search over pull-through sequences that *finds* conjugation realizations
+of target classical gates for small groups and bounded depth.  The
+compiler substitutes for the unpublished sequences: same dynamics
+(Eq. 41), machine-discovered circuits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.topo.groups import FiniteGroup, Perm, PermutationGroup, parse_cycles
+
+__all__ = [
+    "A5_COMPUTATIONAL_BASIS",
+    "A5_NOT_FLUX",
+    "not_gate_works",
+    "PullThroughCompiler",
+    "CompiledGate",
+    "toffoli_feasibility_report",
+]
+
+
+def _a5_constants() -> tuple[FiniteGroup, tuple[Perm, Perm], Perm]:
+    group = PermutationGroup.alternating(5)
+    u0 = parse_cycles("(125)", 5)
+    u1 = parse_cycles("(234)", 5)
+    v = parse_cycles("(14)(35)", 5)
+    return group, (u0, u1), v
+
+
+_A5, A5_COMPUTATIONAL_BASIS, A5_NOT_FLUX = _a5_constants()
+
+
+def not_gate_works(group: FiniteGroup | None = None) -> bool:
+    """Fig. 21: conjugation by v = (14)(35) swaps u₀ ↔ u₁."""
+    g = group or _A5
+    u0, u1 = A5_COMPUTATIONAL_BASIS
+    return g.conjugate(u0, A5_NOT_FLUX) == u1 and g.conjugate(u1, A5_NOT_FLUX) == u0
+
+
+@dataclass(frozen=True)
+class CompiledGate:
+    """A pull-through sequence realizing a classical gate.
+
+    ``steps`` lists (inner, outer) pair indices in execution order over a
+    register [computational pairs..., ancilla pairs...]; ``ancilla_fluxes``
+    are the initial ancilla values.  ``catalytic`` records whether every
+    ancilla returns to its initial flux on every input (so the ancillas are
+    reusable, as the paper's constructions require).
+    """
+
+    steps: tuple[tuple[int, int], ...]
+    ancilla_fluxes: tuple[Perm, ...]
+    catalytic: bool
+
+    @property
+    def depth(self) -> int:
+        return len(self.steps)
+
+
+class PullThroughCompiler:
+    """Breadth-first search for conjugation circuits.
+
+    The dynamics is purely classical on flux eigenstates: a register state
+    is the tuple of all pair fluxes, and a pull-through (i, j) maps flux_i
+    to conj(flux_i, flux_j).  A gate is found when one sequence of moves
+    sends *every* computational input to its target simultaneously.
+
+    The search space grows as (pairs²)^depth — ample for the 1–6-step
+    constructions on few pairs, and a documented substitute for the
+    unpublished 16/31-step sequences (see DESIGN.md).
+    """
+
+    def __init__(self, group: FiniteGroup, max_depth: int = 6) -> None:
+        self.group = group
+        self.max_depth = max_depth
+
+    def compile(
+        self,
+        inputs: list[tuple[Perm, ...]],
+        targets: list[tuple[Perm, ...]],
+        ancilla_fluxes: tuple[Perm, ...] = (),
+        require_catalytic: bool = True,
+    ) -> CompiledGate | None:
+        """Find a pull-through sequence mapping inputs[k] -> targets[k].
+
+        ``inputs``/``targets`` list the computational-pair fluxes for every
+        basis input; ancillas are appended with fixed initial fluxes.
+        Targets constrain only the computational pairs unless
+        ``require_catalytic`` (then ancillas must be restored too).
+        """
+        if len(inputs) != len(targets):
+            raise ValueError("inputs and targets must pair up")
+        width = len(inputs[0]) + len(ancilla_fluxes)
+        start = tuple(tuple(inp) + tuple(ancilla_fluxes) for inp in inputs)
+        moves = [
+            (i, j) for i in range(width) for j in range(width) if i != j
+        ]
+        ncomp = len(inputs[0])
+
+        def is_goal(state: tuple[tuple[Perm, ...], ...]) -> bool:
+            for got, want in zip(state, targets):
+                if got[:ncomp] != tuple(want):
+                    return False
+                if require_catalytic and got[ncomp:] != tuple(ancilla_fluxes):
+                    return False
+            return True
+
+        if is_goal(start):
+            return CompiledGate((), tuple(ancilla_fluxes), True)
+        frontier = deque([(start, ())])
+        seen = {start}
+        while frontier:
+            state, path = frontier.popleft()
+            if len(path) >= self.max_depth:
+                continue
+            for move in moves:
+                nxt = self._apply(state, move)
+                if nxt in seen:
+                    continue
+                new_path = path + (move,)
+                if is_goal(nxt):
+                    catalytic = all(
+                        row[ncomp:] == tuple(ancilla_fluxes) for row in nxt
+                    )
+                    return CompiledGate(new_path, tuple(ancilla_fluxes), catalytic)
+                seen.add(nxt)
+                frontier.append((nxt, new_path))
+        return None
+
+    def _apply(
+        self, state: tuple[tuple[Perm, ...], ...], move: tuple[int, int]
+    ) -> tuple[tuple[Perm, ...], ...]:
+        i, j = move
+        out = []
+        for row in state:
+            lst = list(row)
+            lst[i] = self.group.conjugate(row[i], row[j])
+            out.append(tuple(lst))
+        return tuple(out)
+
+
+def toffoli_feasibility_report(max_group: int = 5) -> dict[str, dict[str, object]]:
+    """The §7.4 universality criterion across candidate groups.
+
+    "No Toffoli gate was found in any group smaller than A₅.  Since A₅ is
+    also the smallest of the finite nonsolvable groups, it is tempting to
+    conjecture that nonsolvability is a necessary condition..."  We report
+    order / solvability / perfectness for the relevant small groups; A₅ is
+    the unique nonsolvable (indeed perfect) entry.
+    """
+    candidates = {
+        "S3": PermutationGroup.symmetric(3),
+        "A4": PermutationGroup.alternating(4),
+        "D4": PermutationGroup.dihedral(4),
+        "Q8": PermutationGroup.quaternion(),
+        "S4": PermutationGroup.symmetric(4),
+        "A5": PermutationGroup.alternating(5),
+        "S5": PermutationGroup.symmetric(5),
+    }
+    report = {}
+    for name, group in candidates.items():
+        report[name] = {
+            "order": group.order,
+            "solvable": group.is_solvable(),
+            "perfect": group.is_perfect(),
+            "universality_candidate": not group.is_solvable(),
+        }
+    return report

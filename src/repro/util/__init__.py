@@ -1,0 +1,17 @@
+"""Shared utilities: deterministic RNG handling and statistics helpers."""
+
+from repro.util.rng import as_rng
+from repro.util.stats import (
+    binomial_confidence,
+    fit_power_law,
+    logical_error_per_round,
+    wilson_interval,
+)
+
+__all__ = [
+    "as_rng",
+    "binomial_confidence",
+    "fit_power_law",
+    "logical_error_per_round",
+    "wilson_interval",
+]

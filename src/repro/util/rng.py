@@ -1,0 +1,28 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts either an integer seed,
+an existing :class:`numpy.random.Generator`, or ``None`` (fresh OS entropy),
+and normalizes it through :func:`as_rng`.  This keeps Monte Carlo experiments
+reproducible without threading a global seed through the call stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_rng"]
+
+
+def as_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a seeded PCG64 stream, or an
+        existing generator (returned unchanged so that callers can share one
+        stream across sub-experiments).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

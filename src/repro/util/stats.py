@@ -1,0 +1,72 @@
+"""Statistics helpers for Monte Carlo experiments.
+
+Threshold experiments estimate small failure probabilities from binomial
+samples; these helpers provide confidence intervals (Wilson score, which is
+well behaved when the count of failures is 0 or small), power-law fits for
+the quadratic level-reduction check, and conversions between per-round and
+per-shot logical error rates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "wilson_interval",
+    "binomial_confidence",
+    "fit_power_law",
+    "logical_error_per_round",
+]
+
+
+def wilson_interval(failures: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` bounds on the underlying failure probability.
+    Unlike the normal approximation it never leaves [0, 1] and is usable when
+    ``failures`` is zero, which is common deep below threshold.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= failures <= trials:
+        raise ValueError("failures must lie in [0, trials]")
+    p = failures / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def binomial_confidence(failures: int, trials: int, z: float = 1.96) -> tuple[float, float, float]:
+    """Point estimate plus Wilson bounds: ``(estimate, low, high)``."""
+    low, high = wilson_interval(failures, trials, z)
+    return (failures / trials, low, high)
+
+
+def fit_power_law(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+    """Least-squares fit of ``y = A * x**k`` in log-log space.
+
+    Returns ``(A, k)``.  Points with non-positive ``x`` or ``y`` are dropped
+    (they carry no log-log information); at least two valid points are
+    required.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    mask = (x > 0) & (y > 0)
+    if mask.sum() < 2:
+        raise ValueError("need at least two positive (x, y) points for a power-law fit")
+    lx, ly = np.log(x[mask]), np.log(y[mask])
+    k, loga = np.polyfit(lx, ly, 1)
+    return (float(np.exp(loga)), float(k))
+
+
+def logical_error_per_round(p_total: float, rounds: int) -> float:
+    """Convert a cumulative failure probability over ``rounds`` repetitions
+    into a per-round rate, inverting ``p_total = 1 - (1 - p)**rounds``."""
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    if not 0.0 <= p_total < 1.0:
+        raise ValueError("p_total must lie in [0, 1)")
+    return 1.0 - (1.0 - p_total) ** (1.0 / rounds)

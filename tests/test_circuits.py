@@ -1,0 +1,136 @@
+"""Tests for the circuit IR and resource analysis."""
+
+import pytest
+
+from repro.circuits import Circuit, Operation, circuit_depth, gate_counts, resource_summary
+from repro.circuits.analysis import count_error_locations
+from repro.circuits.gates import GATES, gate_matrix, is_clifford
+
+
+class TestGateRegistry:
+    def test_expected_gates_present(self):
+        for name in ("X", "Z", "H", "S", "CNOT", "CCX", "M", "R", "TICK"):
+            assert name in GATES
+
+    def test_clifford_flags(self):
+        assert is_clifford("CNOT")
+        assert is_clifford("H")
+        assert not is_clifford("CCX")
+        assert not is_clifford("T")
+
+    def test_unknown_gate(self):
+        with pytest.raises(KeyError):
+            is_clifford("FOO")
+        with pytest.raises(KeyError):
+            gate_matrix("FOO")
+
+    def test_measure_has_no_matrix(self):
+        with pytest.raises(ValueError):
+            gate_matrix("M")
+
+    def test_unitaries_are_unitary(self):
+        import numpy as np
+
+        for spec in GATES.values():
+            if spec.unitary is not None:
+                u = spec.unitary
+                assert np.allclose(u @ u.conj().T, np.eye(u.shape[0])), spec.name
+
+
+class TestOperationValidation:
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Operation("CNOT", (0,))
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(ValueError):
+            Operation("CNOT", (1, 1))
+
+    def test_measure_needs_cbit(self):
+        with pytest.raises(ValueError):
+            Operation("M", (0,))
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            Operation("NOPE", (0,))
+
+
+class TestCircuitBuilder:
+    def test_chaining(self):
+        c = Circuit(3, 1).h(0).cnot(0, 1).measure(1, 0)
+        assert len(c) == 3
+
+    def test_out_of_range_qubit(self):
+        with pytest.raises(IndexError):
+            Circuit(2).h(5)
+
+    def test_out_of_range_cbit(self):
+        with pytest.raises(IndexError):
+            Circuit(2, 1).measure(0, 3)
+
+    def test_condition_validated(self):
+        c = Circuit(2, 2)
+        with pytest.raises(IndexError):
+            c.x(0, condition=(5,))
+
+    def test_remapped(self):
+        c = Circuit(2, 1).cnot(0, 1).measure(1, 0)
+        big = c.remapped({0: 4, 1: 6}, num_qubits=8)
+        assert big.operations[0].qubits == (4, 6)
+        assert big.num_qubits == 8
+
+    def test_compose_register_check(self):
+        big = Circuit(3)
+        small = Circuit(5)
+        with pytest.raises(ValueError):
+            big.compose(small)
+
+    def test_copy_is_shallow_independent(self):
+        c = Circuit(1).x(0)
+        c2 = c.copy()
+        c2.x(0)
+        assert len(c) == 1 and len(c2) == 2
+
+    def test_measured_cbits(self):
+        c = Circuit(2, 2).measure(0, 1).measure_x(1, 0)
+        assert c.measured_cbits() == [1, 0]
+
+
+class TestAnalysis:
+    def make_ec_like(self):
+        c = Circuit(4, 2)
+        c.h(0).cnot(0, 1).cnot(0, 2).tick()
+        c.cnot(1, 3).measure(3, 0).reset(3)
+        c.cnot(2, 3).measure(3, 1)
+        return c
+
+    def test_gate_counts(self):
+        counts = gate_counts(self.make_ec_like())
+        assert counts["CNOT"] == 4
+        assert counts["M"] == 2
+        assert "TICK" not in counts
+
+    def test_depth_serial_chain(self):
+        c = Circuit(2).h(0).h(0).h(0)
+        assert circuit_depth(c) == 3
+
+    def test_depth_parallel(self):
+        c = Circuit(4).h(0).h(1).h(2).h(3)
+        assert circuit_depth(c) == 1
+
+    def test_tick_forces_layer(self):
+        c = Circuit(2).h(0).tick().h(1)
+        assert circuit_depth(c) == 2
+
+    def test_error_locations(self):
+        locs = count_error_locations(self.make_ec_like())
+        assert locs["two_qubit"] == 4
+        assert locs["measure"] == 2
+        assert locs["prepare"] == 1
+        assert locs["storage"] == 4  # one TICK x four qubits
+
+    def test_resource_summary_keys(self):
+        summary = resource_summary(self.make_ec_like())
+        assert summary["cnot_count"] == 4
+        assert summary["qubits_touched"] == 4
+        assert summary["measurement_count"] == 2

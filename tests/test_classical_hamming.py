@@ -1,0 +1,118 @@
+"""Tests of the [7,4,3] Hamming code against the paper's §2 claims."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classical import HammingCode
+from repro.classical.hamming import H_EQ1, H_EQ15
+
+
+class TestParityCheckForms:
+    def test_eq1_matches_paper(self):
+        code = HammingCode("eq1")
+        assert np.array_equal(code.h, H_EQ1)
+
+    def test_eq15_matches_paper(self):
+        code = HammingCode("eq15")
+        assert np.array_equal(code.h, H_EQ15)
+
+    def test_forms_are_column_permutations(self):
+        # Eq. (15) is "obtained from the form in Eq. (1) by permuting the
+        # columns" — same multiset of columns.
+        cols1 = sorted(tuple(H_EQ1[:, j]) for j in range(7))
+        cols15 = sorted(tuple(H_EQ15[:, j]) for j in range(7))
+        assert cols1 == cols15
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ValueError):
+            HammingCode("eq7")
+
+
+class TestCodeStructure:
+    @pytest.fixture(params=["eq1", "eq15"])
+    def code(self, request):
+        return HammingCode(request.param)
+
+    def test_sixteen_codewords(self, code):
+        assert code.codewords().shape == (16, 7)
+        assert code.k == 4
+
+    def test_minimum_distance_three(self, code):
+        assert code.minimum_distance() == 3
+
+    def test_eight_even_eight_odd(self, code):
+        assert code.even_codewords().shape[0] == 8
+        assert code.odd_codewords().shape[0] == 8
+
+    def test_eq6_codewords_literal(self):
+        # The even codewords listed in Eq. (6).
+        expected = {
+            "0000000", "0001111", "0110011", "0111100",
+            "1010101", "1011010", "1100110", "1101001",
+        }
+        code = HammingCode("eq1")
+        got = {"".join(map(str, w)) for w in code.even_codewords()}
+        assert got == expected
+
+    def test_eq7_codewords_literal(self):
+        # The odd codewords listed in Eq. (7).
+        expected = {
+            "1111111", "1110000", "1001100", "1000011",
+            "0101010", "0100101", "0011001", "0010110",
+        }
+        code = HammingCode("eq1")
+        got = {"".join(map(str, w)) for w in code.odd_codewords()}
+        assert got == expected
+
+    def test_contains_dual(self, code):
+        # The property enabling the CSS/Steane construction.
+        assert code.contains_dual()
+
+
+class TestErrorCorrection:
+    def test_syndrome_reads_position_eq1(self):
+        # Eq. (3): H·e_i is the i-th column, which is binary(i+1).
+        code = HammingCode("eq1")
+        for i in range(7):
+            err = np.zeros(7, dtype=np.uint8)
+            err[i] = 1
+            s = code.syndrome(err).ravel()
+            assert int(s[0]) * 4 + int(s[1]) * 2 + int(s[2]) == i + 1
+
+    @given(st.integers(0, 15), st.integers(0, 6))
+    @settings(max_examples=40)
+    def test_single_error_corrected(self, msg_idx, flip):
+        code = HammingCode("eq1")
+        msg = np.array([(msg_idx >> j) & 1 for j in range(4)], dtype=np.uint8)
+        word = code.encode(msg)
+        corrupted = word.copy()
+        corrupted[flip] ^= 1
+        assert np.array_equal(code.correct_single(corrupted), word)
+
+    def test_double_error_miscorrects(self):
+        # §2: "if two or more different bits flip, the encoded data will be
+        # damaged" — recovery lands on a *wrong* codeword.
+        code = HammingCode("eq1")
+        word = code.codewords()[3]
+        corrupted = word.copy()
+        corrupted[0] ^= 1
+        corrupted[1] ^= 1
+        repaired = code.correct_single(corrupted)
+        assert code.is_codeword(repaired)
+        assert not np.array_equal(repaired, word)
+
+    def test_error_position_none_when_clean(self):
+        code = HammingCode("eq1")
+        assert code.error_position(code.codewords()[5]) is None
+
+    def test_logical_value_majority(self):
+        code = HammingCode("eq1")
+        for word in code.codewords():
+            expected = int(word.sum() % 2)
+            # Flip any single bit: destructive measurement still decodes.
+            for i in range(7):
+                corrupted = word.copy()
+                corrupted[i] ^= 1
+                assert code.logical_value(corrupted) == expected

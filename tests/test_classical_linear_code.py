@@ -1,0 +1,81 @@
+"""Tests for generic linear codes and the repetition code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classical import LinearCode, RepetitionCode
+from repro.classical.hamming import H_EQ1
+
+
+class TestLinearCode:
+    def test_dimensions(self):
+        code = LinearCode(H_EQ1)
+        assert (code.n, code.k, code.rank) == (7, 4, 3)
+
+    def test_redundant_rows_tolerated(self):
+        h = np.vstack([H_EQ1, H_EQ1[0]])
+        code = LinearCode(h)
+        assert code.k == 4
+
+    def test_encode_roundtrip_syndrome_free(self):
+        code = LinearCode(H_EQ1)
+        for idx in range(16):
+            msg = np.array([(idx >> j) & 1 for j in range(4)], dtype=np.uint8)
+            assert code.is_codeword(code.encode(msg))
+
+    def test_encode_wrong_length(self):
+        code = LinearCode(H_EQ1)
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(3, dtype=np.uint8))
+
+    def test_batch_syndrome_shape(self):
+        code = LinearCode(H_EQ1)
+        batch = np.zeros((5, 7), dtype=np.uint8)
+        assert code.syndrome(batch).shape == (5, 3)
+
+    def test_decode_beyond_capacity_returns_input(self):
+        code = LinearCode(np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8))
+        # rep-3 code: weight-2 error has the syndrome of weight-1 on the
+        # remaining bit; decoding is defined but lands on the wrong word.
+        word = np.array([1, 1, 1], dtype=np.uint8)
+        noisy = word ^ np.array([1, 1, 0], dtype=np.uint8)
+        assert code.is_codeword(code.decode(noisy))
+
+    def test_dual_of_hamming_is_simplex(self):
+        code = LinearCode(H_EQ1)
+        dual = code.dual()
+        assert (dual.n, dual.k) == (7, 3)
+        # Simplex code: all nonzero words have weight 4.
+        words = dual.codewords()
+        weights = sorted(int(w.sum()) for w in words)
+        assert weights == [0] + [4] * 7
+
+    def test_1d_parity_check_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCode(np.zeros((2, 2, 2), dtype=np.uint8))
+
+
+class TestRepetitionCode:
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_parameters(self, n):
+        code = RepetitionCode(n)
+        assert (code.n, code.k) == (n, 1)
+        assert code.minimum_distance() == n
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(1)
+
+    @given(st.integers(3, 9), st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_corrects_minority_flips(self, n, seed):
+        code = RepetitionCode(n)
+        t = (n - 1) // 2
+        rng = np.random.default_rng(seed)
+        word = code.encode(np.array([1], dtype=np.uint8))
+        flips = rng.choice(n, size=rng.integers(0, t + 1), replace=False)
+        noisy = word.copy()
+        noisy[flips] ^= 1
+        assert np.array_equal(code.decode(noisy, max_weight=t), word)

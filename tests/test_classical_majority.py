@@ -1,0 +1,93 @@
+"""Tests for majority voting and von Neumann multiplexing (paper §1)."""
+
+import numpy as np
+import pytest
+
+from repro.classical import (
+    NoisyGateModel,
+    majority_vote,
+    recursive_majority_failure,
+    simulate_multiplexed_nand,
+)
+from repro.classical.majority import majority_failure, simulate_majority
+from repro.classical.vonneumann import nand_fixed_points
+
+
+class TestMajorityVote:
+    def test_simple_majorities(self):
+        assert majority_vote(np.array([1, 1, 0])) == 1
+        assert majority_vote(np.array([0, 0, 1])) == 0
+
+    def test_axis_semantics(self):
+        arr = np.array([[1, 1, 0], [0, 0, 1]], dtype=np.uint8)
+        out = majority_vote(arr, axis=1)
+        assert out.tolist() == [1, 0]
+
+    def test_exact_failure_probability(self):
+        # p' = 3p^2 - 2p^3 for n = 3.
+        for p in (0.01, 0.1, 0.3):
+            expected = 3 * p**2 - 2 * p**3
+            assert majority_failure(p, 3) == pytest.approx(expected)
+
+    def test_even_n_rejected(self):
+        with pytest.raises(ValueError):
+            majority_failure(0.1, 4)
+
+
+class TestRecursiveMajority:
+    def test_below_threshold_improves(self):
+        # p < 1/2 is the noiseless-voter threshold.
+        assert recursive_majority_failure(0.1, 3) < 0.1
+
+    def test_above_threshold_degrades(self):
+        assert recursive_majority_failure(0.6, 3) > 0.6
+
+    def test_fixed_point_half(self):
+        assert recursive_majority_failure(0.5, 10) == pytest.approx(0.5)
+
+    def test_noisy_voter_floors_error(self):
+        # With a noisy voter the error can never drop below ~voter_error.
+        out = recursive_majority_failure(0.05, 8, voter_error=0.001)
+        assert out >= 0.001
+
+    def test_monte_carlo_matches_recursion(self):
+        p, levels = 0.08, 2
+        analytic = recursive_majority_failure(p, levels)
+        simulated = simulate_majority(p, levels, trials=40_000, seed=11)
+        assert simulated == pytest.approx(analytic, abs=0.01)
+
+
+class TestVonNeumannMultiplexing:
+    def test_low_noise_survives_depth(self):
+        model = NoisyGateModel(eps=0.002, bundle_size=200, threshold=0.1)
+        out = simulate_multiplexed_nand(model, depth=8, trials=64, seed=5)
+        assert out["success_rate"] > 0.9
+
+    def test_high_noise_fails(self):
+        model = NoisyGateModel(eps=0.25, bundle_size=200, threshold=0.1)
+        out = simulate_multiplexed_nand(model, depth=8, trials=64, seed=5)
+        assert out["success_rate"] < 0.5
+
+    def test_expected_output_alternates(self):
+        model = NoisyGateModel(eps=0.0, bundle_size=16)
+        out1 = simulate_multiplexed_nand(model, depth=1, trials=4, seed=0)
+        out2 = simulate_multiplexed_nand(model, depth=2, trials=4, seed=0)
+        assert out1["expected_output"] == 0.0
+        assert out2["expected_output"] == 1.0
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyGateModel(eps=1.5)
+        with pytest.raises(ValueError):
+            NoisyGateModel(eps=0.1, bundle_size=0)
+        with pytest.raises(ValueError):
+            NoisyGateModel(eps=0.1, threshold=0.7)
+
+    def test_fixed_points_separate_below_threshold(self):
+        lo, hi = nand_fixed_points(0.005)
+        assert lo < 0.05
+        assert hi > 0.95
+
+    def test_fixed_points_merge_at_high_noise(self):
+        lo, hi = nand_fixed_points(0.45)
+        assert abs(hi - lo) < 0.2

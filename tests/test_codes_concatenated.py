@@ -1,0 +1,116 @@
+"""Tests for concatenated Steane codes (paper §5, Fig. 14)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import ConcatenatedSteane, SteaneCode
+from repro.stabilizer import StabilizerSimulator
+
+
+class TestConstruction:
+    def test_block_sizes(self):
+        assert ConcatenatedSteane(1).n == 7
+        assert ConcatenatedSteane(2).n == 49
+        assert ConcatenatedSteane(3).n == 343
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            ConcatenatedSteane(0)
+
+    def test_level1_matches_base(self):
+        cat = ConcatenatedSteane(1)
+        base = SteaneCode()
+        assert cat.input_qubit == base.input_qubit
+        enc_ops = [(op.gate, op.qubits) for op in cat.encoding_circuit()]
+        base_ops = [(op.gate, op.qubits) for op in base.encoding_circuit()]
+        assert enc_ops == base_ops
+
+
+class TestLevel2Encoder:
+    @pytest.fixture(scope="class")
+    def encoded(self):
+        cat = ConcatenatedSteane(2)
+        sim = StabilizerSimulator(49)
+        sim.run(cat.encoding_circuit())
+        return cat, sim
+
+    def test_inner_blocks_stabilized(self, encoded):
+        cat, sim = encoded
+        base = SteaneCode()
+        from repro.paulis import Pauli
+
+        for block in range(7):
+            for g in base.generators:
+                x = np.zeros(49, dtype=np.uint8)
+                z = np.zeros(49, dtype=np.uint8)
+                x[7 * block : 7 * (block + 1)] = g.x
+                z[7 * block : 7 * (block + 1)] = g.z
+                assert sim.pauli_expectation(Pauli(x, z, g.phase)) == 1
+
+    def test_outer_logical_z(self, encoded):
+        cat, sim = encoded
+        from repro.paulis import pauli_from_string
+
+        # Global Z on all 49 qubits = outer Z̄ built from inner Z̄'s.
+        assert sim.pauli_expectation(pauli_from_string("Z" * 49)) == 1
+
+    def test_outer_stabilizers(self, encoded):
+        cat, sim = encoded
+        base = SteaneCode()
+        from repro.paulis import Pauli
+
+        # Each outer generator, lifted by replacing each virtual qubit with
+        # the transversal logical on the corresponding inner block.
+        for g in base.generators:
+            x = np.zeros(49, dtype=np.uint8)
+            z = np.zeros(49, dtype=np.uint8)
+            for v in range(7):
+                if g.x[v]:
+                    x[7 * v : 7 * (v + 1)] = 1
+                if g.z[v]:
+                    z[7 * v : 7 * (v + 1)] = 1
+            assert sim.pauli_expectation(Pauli(x, z)) == 1
+
+
+class TestHierarchicalDecoding:
+    @pytest.fixture(scope="class")
+    def cat2(self):
+        return ConcatenatedSteane(2)
+
+    def test_no_error_decodes_clean(self, cat2):
+        fx = np.zeros((4, 49), dtype=np.uint8)
+        lx, lz = cat2.decode_frame_hierarchical(fx, fx)
+        assert not lx.any() and not lz.any()
+
+    def test_single_error_per_block_corrected(self, cat2):
+        # One X error in every inner block: all corrected at level 1.
+        fx = np.zeros((1, 49), dtype=np.uint8)
+        for block in range(7):
+            fx[0, 7 * block + block % 7] = 1
+        lx, _ = cat2.decode_frame_hierarchical(fx, np.zeros_like(fx))
+        assert not lx.any()
+
+    def test_two_errors_one_block_survivable(self, cat2):
+        # Two errors in ONE inner block make that block fail (logical X on
+        # the virtual qubit), but the outer level corrects a single virtual
+        # error: no encoded failure.  This is Eq. (33)'s mechanism.
+        fx = np.zeros((1, 49), dtype=np.uint8)
+        fx[0, 0] = fx[0, 1] = 1
+        lx, _ = cat2.decode_frame_hierarchical(fx, np.zeros_like(fx))
+        assert not lx.any()
+
+    def test_two_failing_blocks_break_level2(self, cat2):
+        # Double failures in two separate inner blocks -> two virtual
+        # errors -> the outer block fails.
+        fx = np.zeros((1, 49), dtype=np.uint8)
+        fx[0, 0] = fx[0, 1] = 1  # block 0 fails
+        fx[0, 7] = fx[0, 8] = 1  # block 1 fails
+        lx, _ = cat2.decode_frame_hierarchical(fx, np.zeros_like(fx))
+        assert lx[0] == 1
+
+    def test_level3_block_size(self):
+        cat3 = ConcatenatedSteane(3)
+        fx = np.zeros((2, 343), dtype=np.uint8)
+        lx, lz = cat3.decode_frame_hierarchical(fx, fx)
+        assert lx.shape == (2,)
+        assert not lx.any()

@@ -1,0 +1,66 @@
+"""Smoke/shape tests for the experiment runners (quick mode).
+
+The heavy statistical assertions live in benchmarks/; these tests pin the
+runner *interfaces* (keys, row structure) and the cheap exact claims so a
+plain `pytest tests/` still exercises every experiment module.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.e05_shor_vs_steane_cost import run as run_e05
+from repro.experiments.e06_code_family_scaling import run as run_e06
+from repro.experiments.e09_factoring_resources import run as run_e09
+from repro.experiments.e13_anyonic_logic import run as run_e13
+from repro.experiments.e14_toffoli_budget import run as run_e14
+
+
+class TestRegistry:
+    def test_all_fourteen_registered(self):
+        assert sorted(ALL_EXPERIMENTS) == [f"E{i:02d}" for i in range(1, 15)]
+
+    def test_runners_callable(self):
+        for runner in ALL_EXPERIMENTS.values():
+            assert callable(runner)
+
+
+class TestExactClaims:
+    """The deterministic (non-Monte-Carlo) paper numbers must be exact."""
+
+    def test_e05_resource_counts(self):
+        out = run_e05(quick=True)
+        assert out["measured_shor_ancillas"] == 24
+        assert out["measured_shor_xors"] == 24
+        assert out["measured_steane_ancillas"] == 14
+        assert out["measured_steane_xors"] == 14
+
+    def test_e06_shape_ratio(self):
+        out = run_e06(quick=True)
+        assert out["measured_shape_ratio"] == pytest.approx(2.0**-4)
+        assert out["formula_tracks_bruteforce"]
+
+    def test_e09_paper_table(self):
+        out = run_e09(quick=True)
+        assert out["measured_logical_qubits"] == 2160
+        assert out["planned_levels_paper_constants"] == 3
+        assert out["planned_block_paper_constants"] == 343
+        assert 9e5 < out["planned_total_qubits_paper_constants"] < 1.1e6
+
+    def test_e13_group_theory(self):
+        out = run_e13(quick=True)
+        assert out["not_gate_algebraic"]
+        assert out["not_gate_compiled_depth"] == 1
+        assert out["a5_only_nonsolvable_leq_60"]
+        assert out["group_report"]["A5"]["perfect"]
+
+    def test_e14_footnote_j(self):
+        out = run_e14(quick=True)
+        assert out["footnote_j_holds"]
+        assert out["gadget_resources"]["ccz_locations"] == 14
+
+    def test_runner_outputs_have_experiment_and_claim(self):
+        for name, runner in list(ALL_EXPERIMENTS.items()):
+            if name in ("E05", "E06", "E09", "E13", "E14"):
+                out = runner(quick=True)
+                assert out["experiment"] == name
+                assert isinstance(out["claim"], str) and out["claim"]

@@ -1,0 +1,113 @@
+"""Tests for cat/Shor-state preparation and verification (Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import gate_counts
+from repro.ft.cat import CatStatePrep, shor_state_prep
+from repro.noise import NoiseModel
+from repro.pauliframe import FrameSimulator
+from repro.statevector import run_circuit
+
+
+class TestCatCircuitStructure:
+    def test_chain_structure(self):
+        prep = CatStatePrep((0, 1, 2, 3), 4, 0)
+        c = prep.circuit(5, 1)
+        counts = gate_counts(c)
+        assert counts["H"] == 1
+        assert counts["CNOT"] == 3 + 2  # chain + two verification XORs
+        assert counts["M"] == 1
+
+    def test_no_verification_variant(self):
+        prep = CatStatePrep((0, 1, 2))
+        c = prep.circuit(3, 0)
+        assert gate_counts(c).get("M", 0) == 0
+
+    def test_verification_without_cbit_rejected(self):
+        prep = CatStatePrep((0, 1), 3, None)
+        with pytest.raises(ValueError):
+            prep.circuit(4, 0)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            CatStatePrep((0,)).circuit(1, 0)
+
+
+class TestCatStateVector:
+    def test_produces_cat_state(self):
+        prep = CatStatePrep((0, 1, 2, 3), 4, 0)
+        sv, record = run_circuit(prep.circuit(5, 1), rng=0)
+        assert record[0] == 0  # clean run always passes verification
+        amps = sv.amplitudes().reshape(2, 2, 2, 2, 2)
+        # Verify scratch qubit is |0>; cat amplitudes on 0000 and 1111.
+        assert abs(amps[0, 0, 0, 0, 0]) == pytest.approx(1 / np.sqrt(2))
+        assert abs(amps[1, 1, 1, 1, 0]) == pytest.approx(1 / np.sqrt(2))
+
+    def test_shor_state_even_weight_support(self):
+        # Eq. (16): equal superposition of even-weight strings.
+        c = shor_state_prep((0, 1, 2, 3), None, None, 4, 0)
+        sv, _ = run_circuit(c, rng=0)
+        amps = sv.amplitudes()
+        for idx in range(16):
+            weight = bin(idx).count("1")
+            if weight % 2 == 0:
+                assert abs(amps[idx]) == pytest.approx(1 / np.sqrt(8))
+            else:
+                assert abs(amps[idx]) == pytest.approx(0.0)
+
+
+class TestVerificationCatchesCorrelatedErrors:
+    def test_correlated_pattern_fails_verification(self):
+        """An X fault after the middle chain link makes |0011>+|1100>;
+        the first/last-bit comparison must flag it."""
+        prep = CatStatePrep((0, 1, 2, 3), 4, 0)
+        circuit = prep.circuit(5, 1)
+        # Locate the second chain CNOT (cat qubits 1 -> 2).
+        idx = [
+            i
+            for i, op in enumerate(circuit)
+            if op.gate == "CNOT" and op.qubits == (1, 2)
+        ][0]
+        sim = FrameSimulator(circuit, NoiseModel())
+        res = sim.run(1, seed=0, fault_injections=[(idx, 2, "X")])
+        assert res.meas_flips[0, 0] == 1  # verification fires
+
+    def test_single_end_error_passes_but_is_benign(self):
+        """An X on the last qubit after the chain leaves one bit-flip —
+        verification fires (bits differ), discarding a repairable state:
+        conservative but safe."""
+        prep = CatStatePrep((0, 1, 2, 3), 4, 0)
+        circuit = prep.circuit(5, 1)
+        last_chain = [
+            i
+            for i, op in enumerate(circuit)
+            if op.gate == "CNOT" and op.qubits == (2, 3)
+        ][0]
+        sim = FrameSimulator(circuit, NoiseModel())
+        res = sim.run(1, seed=0, fault_injections=[(last_chain, 3, "X")])
+        assert res.meas_flips[0, 0] == 1
+
+    def test_phase_error_invisible_to_verification(self):
+        """Z errors on the cat do not trip the (bit-comparison) check —
+        they become benign Shor-state bit errors handled by syndrome
+        repetition (§3.3's closing remark)."""
+        prep = CatStatePrep((0, 1, 2, 3), 4, 0)
+        circuit = prep.circuit(5, 1)
+        idx = [
+            i
+            for i, op in enumerate(circuit)
+            if op.gate == "CNOT" and op.qubits == (1, 2)
+        ][0]
+        sim = FrameSimulator(circuit, NoiseModel())
+        res = sim.run(1, seed=0, fault_injections=[(idx, 2, "Z")])
+        assert res.meas_flips[0, 0] == 0
+
+    def test_acceptance_rate_under_noise(self):
+        prep = CatStatePrep((0, 1, 2, 3), 4, 0)
+        circuit = prep.circuit(5, 1)
+        sim = FrameSimulator(circuit, NoiseModel(eps_gate2=0.01))
+        res = sim.run(20_000, seed=1)
+        reject = res.meas_flips[:, 0].mean()
+        # A few percent of preparations get discarded at 1% gate noise.
+        assert 0.005 < reject < 0.06

@@ -1,0 +1,149 @@
+"""Tests for the assembled EC protocols (Fig. 9 end-to-end)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import FiveQubitCode, SteaneCode
+from repro.ft import ShorECProtocol, SteaneECProtocol, resolve_syndrome_policy
+from repro.noise import NoiseModel, circuit_level
+
+
+@pytest.fixture(scope="module")
+def steane():
+    return SteaneCode()
+
+
+class TestSyndromePolicies:
+    def test_paper_policy_needs_agreement(self):
+        syn = np.zeros((3, 2, 3), dtype=np.uint8)
+        syn[0, 0] = [1, 0, 0]
+        syn[0, 1] = [1, 0, 0]  # agree, nontrivial -> act
+        syn[1, 0] = [1, 0, 0]
+        syn[1, 1] = [0, 1, 0]  # disagree -> do nothing
+        accepted, act = resolve_syndrome_policy(syn, "paper")
+        assert act.tolist() == [True, False, False]
+        assert accepted[0].tolist() == [1, 0, 0]
+
+    def test_first_policy(self):
+        syn = np.zeros((2, 1, 3), dtype=np.uint8)
+        syn[0, 0] = [0, 1, 1]
+        accepted, act = resolve_syndrome_policy(syn, "first")
+        assert act.tolist() == [True, False]
+
+    def test_majority_policy(self):
+        syn = np.zeros((1, 3, 2), dtype=np.uint8)
+        syn[0, 0] = [1, 0]
+        syn[0, 1] = [1, 1]
+        syn[0, 2] = [0, 1]
+        accepted, act = resolve_syndrome_policy(syn, "majority")
+        assert accepted[0].tolist() == [1, 1]
+
+    def test_policy_validation(self):
+        syn = np.zeros((1, 1, 3), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            resolve_syndrome_policy(syn, "paper")
+        with pytest.raises(ValueError):
+            resolve_syndrome_policy(np.zeros((1, 2, 3), dtype=np.uint8), "majority")
+        with pytest.raises(ValueError):
+            resolve_syndrome_policy(syn, "bogus")
+
+
+class TestSteaneProtocol:
+    def test_noiseless_identity(self, steane):
+        proto = SteaneECProtocol(NoiseModel())
+        fx, fz = proto.run_round(20, seed=0)
+        assert not fx.any() and not fz.any()
+
+    @pytest.mark.parametrize("qubit,kind", [(0, "X"), (3, "X"), (5, "Z"), (6, "Z")])
+    def test_corrects_any_single_error(self, steane, qubit, kind):
+        proto = SteaneECProtocol(NoiseModel())
+        data_fx = np.zeros((10, 7), dtype=np.uint8)
+        data_fz = np.zeros((10, 7), dtype=np.uint8)
+        if kind == "X":
+            data_fx[:, qubit] = 1
+        else:
+            data_fz[:, qubit] = 1
+        fx, fz = proto.run_round(10, seed=1, data_fx=data_fx, data_fz=data_fz)
+        assert not fx.any() and not fz.any()
+
+    def test_corrects_simultaneous_x_and_z(self, steane):
+        proto = SteaneECProtocol(NoiseModel())
+        data_fx = np.zeros((4, 7), dtype=np.uint8)
+        data_fz = np.zeros((4, 7), dtype=np.uint8)
+        data_fx[:, 1] = 1
+        data_fz[:, 4] = 1
+        fx, fz = proto.run_round(4, seed=2, data_fx=data_fx, data_fz=data_fz)
+        assert not fx.any() and not fz.any()
+
+    def test_double_error_becomes_logical(self, steane):
+        # Eq. (12): two bit flips miscorrect to the logical flip.
+        proto = SteaneECProtocol(NoiseModel())
+        data_fx = np.zeros((2, 7), dtype=np.uint8)
+        data_fx[:, 0] = data_fx[:, 1] = 1
+        fx, fz = proto.run_round(2, seed=3, data_fx=data_fx)
+        cfx, cfz = steane.correct_frame(fx, fz)
+        action = steane.logical_action_of_frame(cfx, cfz)
+        assert action[:, 0].all()
+
+    def test_logical_rate_quadratic_scaling(self, steane):
+        rates = []
+        for eps in (5e-4, 2e-3):
+            proto = SteaneECProtocol(circuit_level(eps))
+            fx, fz = proto.run_round(30_000, seed=4)
+            cfx, cfz = steane.correct_frame(fx, fz)
+            action = steane.logical_action_of_frame(cfx, cfz)
+            rates.append(action.any(axis=1).mean())
+        # 4x the physical rate should give ~16x the logical rate; allow a
+        # generous band for Monte Carlo noise and linear contamination.
+        ratio = rates[1] / max(rates[0], 1e-9)
+        assert 6 < ratio < 40
+
+    def test_verification_improves_high_noise(self, steane):
+        eps = 3e-3
+        with_v = SteaneECProtocol(circuit_level(eps), verify_ancilla=True)
+        without_v = SteaneECProtocol(circuit_level(eps), verify_ancilla=False)
+        results = {}
+        for name, proto in (("with", with_v), ("without", without_v)):
+            fx, fz = proto.run_round(40_000, seed=5)
+            cfx, cfz = steane.correct_frame(fx, fz)
+            action = steane.logical_action_of_frame(cfx, cfz)
+            results[name] = action.any(axis=1).mean()
+        assert results["with"] <= results["without"] * 1.1
+
+
+class TestShorProtocol:
+    def test_noiseless_identity_steane_code(self, steane):
+        proto = ShorECProtocol(steane, NoiseModel())
+        fx, fz = proto.run_round(10, seed=0)
+        assert not fx.any() and not fz.any()
+
+    def test_corrects_singles_five_qubit(self):
+        code = FiveQubitCode()
+        proto = ShorECProtocol(code, NoiseModel())
+        for q in range(5):
+            for kind in ("X", "Z", "Y"):
+                data_fx = np.zeros((2, 5), dtype=np.uint8)
+                data_fz = np.zeros((2, 5), dtype=np.uint8)
+                if kind in ("X", "Y"):
+                    data_fx[:, q] = 1
+                if kind in ("Z", "Y"):
+                    data_fz[:, q] = 1
+                fx, fz = proto.run_round(2, seed=1, data_fx=data_fx, data_fz=data_fz)
+                assert not fx.any() and not fz.any(), (q, kind)
+
+    def test_noisy_run_below_physical(self):
+        code = SteaneCode()
+        eps = 3e-4
+        proto = ShorECProtocol(code, circuit_level(eps))
+        fx, fz = proto.run_round(30_000, seed=2)
+        cfx, cfz = code.correct_frame(fx, fz)
+        action = code.logical_action_of_frame(cfx, cfz)
+        assert action.any(axis=1).mean() < 10 * eps
+
+    def test_factory_exhaustion_raises(self):
+        # eps_meas = 1 flips every verification readout, so every cat
+        # preparation is rejected and resampling has nothing to draw from.
+        code = SteaneCode()
+        proto = ShorECProtocol(code, NoiseModel(eps_meas=1.0))
+        with pytest.raises(RuntimeError):
+            proto.run_round(50, seed=3)

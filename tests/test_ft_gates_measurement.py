@@ -1,0 +1,183 @@
+"""Tests for transversal gates, logical measurement, the Toffoli gadget,
+and leakage detection."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, gate_counts
+from repro.codes import SteaneCode
+from repro.ft.leakage_detect import detection_outcome_ideal, leakage_detection_circuit
+from repro.ft.measurement import (
+    decode_destructive_record,
+    destructive_logical_measurement,
+    repeated_nondestructive_measurement,
+)
+from repro.ft.toffoli import ShorToffoliGadget, encoded_toffoli_resources
+from repro.ft.transversal import (
+    transversal_cnot,
+    transversal_hadamard,
+    transversal_pauli,
+    transversal_phase,
+)
+from repro.stabilizer import StabilizerSimulator
+from repro.statevector import StateVector, run_circuit
+
+
+@pytest.fixture(scope="module")
+def steane():
+    return SteaneCode()
+
+
+class TestTransversalGates:
+    def _encoded(self, steane, value=0):
+        sim = StabilizerSimulator(7)
+        if value:
+            sim.x_gate(steane.input_qubit)
+        sim.run(steane.encoding_circuit())
+        return sim
+
+    def test_transversal_x_flips_logical(self, steane):
+        sim = self._encoded(steane)
+        sim.run(transversal_pauli(steane, "X"))
+        assert sim.pauli_expectation(steane.logical_z[0]) == -1
+
+    def test_transversal_z_flips_logical_phase(self, steane):
+        sim = self._encoded(steane)
+        for q in range(7):
+            sim.h(q)  # |+̄>
+        sim.run(transversal_pauli(steane, "Z"))
+        assert sim.pauli_expectation(steane.logical_x[0]) == -1
+
+    def test_transversal_h_swaps_bases(self, steane):
+        sim = self._encoded(steane)
+        sim.run(transversal_hadamard(steane))
+        assert sim.pauli_expectation(steane.logical_x[0]) == 1
+
+    def test_transversal_phase_preserves_codespace(self, steane):
+        sim = self._encoded(steane)
+        sim.run(transversal_phase(steane))
+        for g in steane.generators:
+            assert sim.pauli_expectation(g) == 1
+        assert sim.pauli_expectation(steane.logical_z[0]) == 1
+
+    def test_transversal_cnot_logical_action(self, steane):
+        # Encoded |1>|0> -> |1>|1> under blockwise XOR (Fig. 11).
+        sim = StabilizerSimulator(14)
+        sim.x_gate(steane.input_qubit)
+        sim.run(steane.encoding_circuit().remapped({i: i for i in range(7)}, num_qubits=14))
+        sim.run(steane.encoding_circuit().remapped({i: 7 + i for i in range(7)}, num_qubits=14))
+        sim.run(transversal_cnot(steane, 0, 7, num_qubits=14))
+        from repro.paulis import Pauli
+
+        z2 = Pauli(np.zeros(14, dtype=np.uint8), np.concatenate([np.zeros(7), np.ones(7)]).astype(np.uint8))
+        assert sim.pauli_expectation(z2) == -1
+
+    def test_transversal_gate_counts(self, steane):
+        assert gate_counts(transversal_cnot(steane, 0, 7))["CNOT"] == 7
+        assert gate_counts(transversal_hadamard(steane))["H"] == 7
+
+    def test_bad_letter_rejected(self, steane):
+        with pytest.raises(ValueError):
+            transversal_pauli(steane, "H")
+
+
+class TestDestructiveMeasurement:
+    def test_circuit_structure(self, steane):
+        c = destructive_logical_measurement(steane)
+        assert gate_counts(c)["M"] == 7
+
+    def test_x_basis_adds_hadamards(self, steane):
+        c = destructive_logical_measurement(steane, basis="X")
+        counts = gate_counts(c)
+        assert counts["H"] == 7
+
+    def test_bad_basis(self, steane):
+        with pytest.raises(ValueError):
+            destructive_logical_measurement(steane, basis="Y")
+
+    def test_decode_tolerates_single_flip(self, steane):
+        flips = np.zeros((7, 7), dtype=np.uint8)
+        for i in range(7):
+            flips[i, i] = 1
+        assert not decode_destructive_record(steane, flips).any()
+
+    def test_decode_flags_logical(self, steane):
+        flips = np.ones((1, 7), dtype=np.uint8)
+        assert decode_destructive_record(steane, flips)[0] == 1
+
+    def test_nondestructive_repeats(self, steane):
+        c = repeated_nondestructive_measurement(steane, repetitions=2)
+        counts = gate_counts(c)
+        assert counts["CNOT"] == 6  # Fig. 4's 3 XORs, twice
+        assert counts["M"] == 2
+        with pytest.raises(ValueError):
+            repeated_nondestructive_measurement(steane, repetitions=0)
+
+
+class TestToffoliGadget:
+    @pytest.mark.parametrize("basis", range(8))
+    def test_classical_inputs(self, basis):
+        gadget = ShorToffoliGadget()
+        amps = np.zeros(8, dtype=complex)
+        amps[basis] = 1.0
+        out = gadget.run_dense(amps, rng=basis)
+        x, y, z = (basis >> 2) & 1, (basis >> 1) & 1, basis & 1
+        expected = (x << 2) | (y << 1) | (z ^ (x & y))
+        assert abs(out[expected]) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_superposition_input(self, seed):
+        gadget = ShorToffoliGadget()
+        rng = np.random.default_rng(seed)
+        amps = rng.normal(size=8) + 1j * rng.normal(size=8)
+        amps /= np.linalg.norm(amps)
+        out = gadget.run_dense(amps, rng=rng)
+        # Reference: dense CCX on the same input.
+        sv = StateVector.from_amplitudes(amps)
+        sv.apply_gate("CCX", 0, 1, 2)
+        overlap = abs(np.vdot(sv.amplitudes(), out)) ** 2
+        assert overlap == pytest.approx(1.0, abs=1e-9)
+
+    def test_bad_input_shape(self):
+        with pytest.raises(ValueError):
+            ShorToffoliGadget().run_dense(np.ones(4))
+
+    def test_encoded_resource_accounting(self):
+        summary = encoded_toffoli_resources(measurement_repetitions=2)
+        assert summary["ccz_locations"] == 2 * 7
+        counts = summary["gate_counts"]
+        assert counts["CCZ"] == 14
+        assert counts["M"] >= 2 * 7 + 3 * 7  # cat readouts + data blocks
+        assert summary["num_qubits"] == 6 * 7 + 7 + 1
+
+
+class TestLeakageDetection:
+    def test_circuit_matches_fig15(self):
+        c = leakage_detection_circuit()
+        gates = [op.gate for op in c if op.gate != "TICK"]
+        assert gates == ["R", "CNOT", "X", "CNOT", "X", "M"]
+
+    def test_healthy_qubit_reads_one(self):
+        # Works for both |0> and |1> data states.
+        for initial in (0, 1):
+            c = Circuit(2, 1)
+            if initial:
+                c.x(0)
+            c.compose(leakage_detection_circuit())
+            _, record = run_circuit(c, rng=0)
+            assert record[0] == 1
+
+    def test_healthy_superposition_undisturbed(self):
+        c = Circuit(2, 1).h(0)
+        c.compose(leakage_detection_circuit())
+        sv, record = run_circuit(c, rng=0)
+        assert record[0] == 1
+        # Data returns to |+> (ancilla ends in |1> after its single flip).
+        ref = StateVector(2)
+        ref.apply_gate("H", 0)
+        ref.apply_gate("X", 1)
+        assert sv.fidelity(ref) == pytest.approx(1.0)
+
+    def test_ideal_outcomes(self):
+        assert detection_outcome_ideal(True) == 0
+        assert detection_outcome_ideal(False) == 1

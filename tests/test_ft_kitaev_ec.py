@@ -1,0 +1,86 @@
+"""Tests for Kitaev-style bare-ancilla extraction (§3.6 last paragraph)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import gate_counts
+from repro.ft.kitaev_ec import (
+    audit_feedback_bound,
+    toric_extraction_circuit,
+    toric_syndromes_from_flips,
+)
+from repro.noise import NoiseModel
+from repro.pauliframe import FrameSimulator
+from repro.topo import ToricCode
+
+
+class TestCircuitStructure:
+    def test_four_xors_per_syndrome_bit(self):
+        code = ToricCode(3)
+        circuit = toric_extraction_circuit(code)
+        counts = gate_counts(circuit)
+        # 18 checks (9 plaquette + 9 vertex) x 4 XORs each.
+        assert counts["CNOT"] == 18 * 4
+        assert counts["M"] == 18
+
+    def test_single_ancilla_per_bit(self):
+        code = ToricCode(3)
+        circuit = toric_extraction_circuit(code)
+        assert circuit.num_qubits == code.n + 18
+
+
+class TestSyndromeReadout:
+    def test_clean_run_trivial(self):
+        code = ToricCode(3)
+        circuit = toric_extraction_circuit(code)
+        res = FrameSimulator(circuit, NoiseModel()).run(4, seed=0)
+        plaq, vert = toric_syndromes_from_flips(code, res.meas_flips)
+        assert not plaq.any() and not vert.any()
+
+    def test_x_error_lights_plaquettes(self):
+        code = ToricCode(3)
+        circuit = toric_extraction_circuit(code)
+        sim = FrameSimulator(circuit, NoiseModel())
+        init = np.zeros((1, circuit.num_qubits), dtype=np.uint8)
+        edge = code.v_edge(1, 1)
+        init[0, edge] = 1
+        res = sim.run(1, seed=0, initial_fx=init)
+        plaq, vert = toric_syndromes_from_flips(code, res.meas_flips)
+        expected = code.plaquette_syndrome(np.eye(code.n, dtype=np.uint8)[edge])[0]
+        assert np.array_equal(plaq[0], expected)
+        assert not vert.any()
+
+    def test_z_error_lights_vertices(self):
+        code = ToricCode(3)
+        circuit = toric_extraction_circuit(code)
+        sim = FrameSimulator(circuit, NoiseModel())
+        init = np.zeros((1, circuit.num_qubits), dtype=np.uint8)
+        edge = code.h_edge(0, 2)
+        init[0, edge] = 1
+        res = sim.run(1, seed=0, initial_fz=init)
+        plaq, vert = toric_syndromes_from_flips(code, res.meas_flips)
+        expected = code.vertex_syndrome(np.eye(code.n, dtype=np.uint8)[edge])[0]
+        assert np.array_equal(vert[0], expected)
+        assert not plaq.any()
+
+
+class TestFeedbackBound:
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_single_fault_feedback_bounded_by_check_weight(self, d):
+        """The §3.6 claim: with weight-4 checks and bare ancillas, one
+        fault feeds back at most 3 (= w − 1) errors of either type —
+        independent of lattice size."""
+        report = audit_feedback_bound(ToricCode(d))
+        assert report["max_x_feedback"] <= 3
+        assert report["max_z_feedback"] <= 3
+
+    def test_feedback_constant_in_lattice_size(self):
+        small = audit_feedback_bound(ToricCode(2))
+        large = audit_feedback_bound(ToricCode(4))
+        assert large["max_x_feedback"] <= small["max_x_feedback"] + 1
+        assert large["max_z_feedback"] <= small["max_z_feedback"] + 1
+
+    def test_fault_cases_scale_with_lattice(self):
+        small = audit_feedback_bound(ToricCode(2))
+        large = audit_feedback_bound(ToricCode(3))
+        assert large["fault_cases"] > small["fault_cases"]

@@ -1,0 +1,235 @@
+"""Tests for Shor and Steane syndrome extraction and the bad/good contrast."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import gate_counts, resource_summary
+from repro.codes import FiveQubitCode, SteaneCode
+from repro.ft.nonft_ec import bad_syndrome_circuit, good_syndrome_circuit, parse_good_syndrome
+from repro.ft.shor_ec import ShorSyndromeExtraction
+from repro.ft.steane_ec import SteaneAncillaPrep, SteaneSyndromeExtraction
+from repro.noise import NoiseModel
+from repro.pauliframe import FrameSimulator
+
+
+@pytest.fixture(scope="module")
+def steane():
+    return SteaneCode()
+
+
+class TestBadCircuit:
+    def test_shared_ancilla_structure(self, steane):
+        c = bad_syndrome_circuit(steane)
+        counts = gate_counts(c)
+        assert counts["CNOT"] == 12  # 3 checks x 4 data qubits
+        assert counts["M"] == 3
+
+    def test_detects_single_bitflip(self, steane):
+        c = bad_syndrome_circuit(steane)
+        sim = FrameSimulator(c, NoiseModel())
+        init = np.zeros((1, c.num_qubits), dtype=np.uint8)
+        init[0, 4] = 1  # X error on data qubit 4 (position 5)
+        res = sim.run(1, seed=0, initial_fx=init)
+        syn = res.meas_flips[0, :3]
+        assert int(syn[0]) * 4 + int(syn[1]) * 2 + int(syn[2]) == 5
+
+    def test_backaction_plants_multiqubit_error(self, steane):
+        """§3.1: a phase error on the shared ancilla mid-sequence feeds
+        back into several data qubits — the non-FT failure mode."""
+        c = bad_syndrome_circuit(steane)
+        # Fault: Z on the first check's ancilla right after its second XOR.
+        cnots = [i for i, op in enumerate(c) if op.gate == "CNOT"]
+        anc = 7
+        sim = FrameSimulator(c, NoiseModel())
+        res = sim.run(1, seed=0, fault_injections=[(cnots[1], anc, "Z")])
+        data_z_weight = int(res.fz[0, :7].sum())
+        assert data_z_weight >= 2
+
+
+class TestGoodCircuit:
+    def test_shor_state_structure(self, steane):
+        c = good_syndrome_circuit(steane, verify=True)
+        counts = gate_counts(c)
+        # Per check: 3 chain + 2 verify + 4 coupling CNOTs.
+        assert counts["CNOT"] == 3 * (3 + 2 + 4)
+
+    def test_detects_single_bitflip(self, steane):
+        c = good_syndrome_circuit(steane, verify=False)
+        sim = FrameSimulator(c, NoiseModel())
+        init = np.zeros((1, c.num_qubits), dtype=np.uint8)
+        init[0, 2] = 1  # position 3
+        res = sim.run(1, seed=0, initial_fx=init)
+        syn, fail = parse_good_syndrome(steane, res.meas_flips, verify=False)
+        assert int(syn[0, 0]) * 4 + int(syn[0, 1]) * 2 + int(syn[0, 2]) == 3
+        assert not fail.any()
+
+    def test_single_ancilla_phase_error_harmless(self, steane):
+        """Each ancilla qubit targets one XOR: a Z fault on it reaches at
+        most one data qubit."""
+        c = good_syndrome_circuit(steane, verify=False)
+        sim = FrameSimulator(c, NoiseModel())
+        # Inject Z on every ancilla qubit right after the Shor-state H's.
+        failures = 0
+        for i, op in enumerate(c):
+            if op.gate == "H":
+                q = op.qubits[0]
+                res = sim.run(1, seed=0, fault_injections=[(i, q, "Z")])
+                if res.fz[0, :7].sum() >= 2:
+                    failures += 1
+        assert failures == 0
+
+
+class TestShorExtraction:
+    def test_resource_plan_for_steane(self, steane):
+        ext = ShorSyndromeExtraction(steane, repetitions=1)
+        # §3.2: "the syndrome measurement uses 24 ancilla bits ... and 24
+        # XOR gates" (per measurement round, excluding preparation).
+        anc_bits = sum(len(b.qubits) for b in ext.blocks)
+        assert anc_bits == 24
+        circuit = ext.extraction_circuit()
+        coupling_cnots = sum(
+            1 for op in circuit if op.gate == "CNOT" and op.tag == "syndrome"
+        )
+        assert coupling_cnots == 24
+
+    def test_parse_shapes(self, steane):
+        ext = ShorSyndromeExtraction(steane, repetitions=2)
+        flips = np.zeros((5, ext.total_cbits), dtype=np.uint8)
+        syn = ext.parse_syndromes(flips)
+        assert syn.shape == (5, 2, 6)
+
+    def test_clean_run_trivial_syndrome(self, steane):
+        ext = ShorSyndromeExtraction(steane, repetitions=2)
+        sim = FrameSimulator(ext.extraction_circuit(), NoiseModel())
+        res = sim.run(4, seed=0)
+        syn = ext.parse_syndromes(res.meas_flips)
+        assert not syn.any()
+
+    def test_data_error_detected(self, steane):
+        ext = ShorSyndromeExtraction(steane, repetitions=1)
+        sim = FrameSimulator(ext.extraction_circuit(), NoiseModel())
+        init = np.zeros((1, ext.total_qubits), dtype=np.uint8)
+        init[0, 0] = 1  # X on data qubit 0
+        res = sim.run(1, seed=0, initial_fx=init)
+        syn = ext.parse_syndromes(res.meas_flips)[0, 0]
+        # Z-type generators (first three for CSS) see the X error.
+        assert syn[:3].any()
+        assert not syn[3:].any()
+
+    def test_five_qubit_code_supported(self):
+        code = FiveQubitCode()
+        ext = ShorSyndromeExtraction(code, repetitions=1)
+        sim = FrameSimulator(ext.extraction_circuit(), NoiseModel())
+        res = sim.run(2, seed=0)
+        assert not ext.parse_syndromes(res.meas_flips).any()
+
+    def test_five_qubit_single_errors_give_unique_syndromes(self):
+        code = FiveQubitCode()
+        ext = ShorSyndromeExtraction(code, repetitions=1)
+        sim = FrameSimulator(ext.extraction_circuit(), NoiseModel())
+        seen = {}
+        from repro.paulis import Pauli
+
+        for q in range(5):
+            for kind in "XYZ":
+                init_fx = np.zeros((1, ext.total_qubits), dtype=np.uint8)
+                init_fz = np.zeros((1, ext.total_qubits), dtype=np.uint8)
+                if kind in "XY":
+                    init_fx[0, q] = 1
+                if kind in "YZ":
+                    init_fz[0, q] = 1
+                res = sim.run(1, seed=0, initial_fx=init_fx, initial_fz=init_fz)
+                syn = tuple(ext.parse_syndromes(res.meas_flips)[0, 0])
+                expected = tuple(code.syndrome_of(Pauli.single(5, q, kind)))
+                assert syn == expected
+                seen[(q, kind)] = syn
+        assert len(set(seen.values())) == 15
+
+    def test_invalid_repetitions(self, steane):
+        with pytest.raises(ValueError):
+            ShorSyndromeExtraction(steane, repetitions=0)
+
+
+class TestSteaneExtraction:
+    def test_cost_14_ancillas_14_xors(self, steane):
+        # §3.3: "only 14 ancilla bits and 14 XOR gates are needed" per
+        # syndrome measurement (both types, one repetition).
+        ext = SteaneSyndromeExtraction(steane, repetitions=1)
+        anc = sum(len(l.anc_qubits) for l in ext.layouts)
+        assert anc == 14
+        circuit = ext.extraction_circuit()
+        cnots = gate_counts(circuit)["CNOT"]
+        assert cnots == 14
+
+    def test_clean_run_trivial(self, steane):
+        ext = SteaneSyndromeExtraction(steane, repetitions=2)
+        sim = FrameSimulator(ext.extraction_circuit(), NoiseModel())
+        res = sim.run(3, seed=0)
+        x_syn, z_syn = ext.parse_syndromes(res.meas_flips)
+        assert not x_syn.any() and not z_syn.any()
+
+    def test_x_error_lights_bitflip_syndrome(self, steane):
+        ext = SteaneSyndromeExtraction(steane, repetitions=1)
+        sim = FrameSimulator(ext.extraction_circuit(), NoiseModel())
+        init = np.zeros((1, ext.total_qubits), dtype=np.uint8)
+        init[0, 6] = 1  # X on data qubit 6 -> position 7
+        res = sim.run(1, seed=0, initial_fx=init)
+        x_syn, z_syn = ext.parse_syndromes(res.meas_flips)
+        assert int(x_syn[0, 0, 0]) * 4 + int(x_syn[0, 0, 1]) * 2 + int(x_syn[0, 0, 2]) == 7
+        assert not z_syn.any()
+
+    def test_z_error_lights_phase_syndrome(self, steane):
+        ext = SteaneSyndromeExtraction(steane, repetitions=1)
+        sim = FrameSimulator(ext.extraction_circuit(), NoiseModel())
+        init = np.zeros((1, ext.total_qubits), dtype=np.uint8)
+        init[0, 1] = 1  # Z on data qubit 1 -> position 2
+        res = sim.run(1, seed=0, initial_fz=init)
+        x_syn, z_syn = ext.parse_syndromes(res.meas_flips)
+        assert int(z_syn[0, 0, 0]) * 4 + int(z_syn[0, 0, 1]) * 2 + int(z_syn[0, 0, 2]) == 2
+        assert not x_syn.any()
+
+
+class TestSteaneAncillaPrep:
+    def test_clean_prep_accepted_unchanged(self):
+        prep = SteaneAncillaPrep()
+        sim = FrameSimulator(prep.circuit(), NoiseModel())
+        res = sim.run(8, seed=0)
+        flips = prep.parse(res.meas_flips)
+        assert not flips.any()
+        assert not res.fx[:, :7].any() and not res.fz[:, :7].any()
+
+    def test_verification_catches_logical_flip(self):
+        """Force an X̄-like fault on the prepared block: both verification
+        rounds must decode it as |1̄> and the fix-up must fire."""
+        prep = SteaneAncillaPrep()
+        circuit = prep.circuit()
+        # Find the op index where block-0 encoding ends: inject transversal
+        # X on the ancilla right before verification couplings.
+        first_verify_cnot = [
+            i for i, op in enumerate(circuit) if op.tag == "verify" and op.gate == "CNOT"
+        ][0]
+        sim = FrameSimulator(circuit, NoiseModel())
+        spec = [[(first_verify_cnot - 1, q, "X") for q in range(7)]]
+        res = sim.run(1, seed=0, fault_injections=spec)
+        fire = prep.parse(res.meas_flips)
+        assert fire[0] == 1
+        fixed = prep.apply_fixups(res.fx[:, :7], fire)
+        # Transversal X̄ cancels the injected X̄ exactly.
+        assert not fixed.any()
+
+    def test_single_verifier_error_does_not_flip(self):
+        """A fault in ONE verification block gives conflicting results;
+        the §3.3 tie rule says do nothing."""
+        prep = SteaneAncillaPrep()
+        circuit = prep.circuit()
+        meas_ops = [
+            i for i, op in enumerate(circuit) if op.gate == "M" and op.tag == "verify"
+        ]
+        sim = FrameSimulator(circuit, NoiseModel())
+        # Corrupt 3 qubits of the first verify block just before readout —
+        # an odd pattern that decodes as logical 1 in round one only.
+        v1_qubits = [7, 8, 9]
+        spec = [[(meas_ops[0] - 1, q, "X") for q in v1_qubits]]
+        res = sim.run(1, seed=0, fault_injections=spec)
+        fire = prep.parse(res.meas_flips)
+        assert fire[0] == 0

@@ -1,0 +1,152 @@
+"""Unit and property tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2 import (
+    gf2_inverse,
+    gf2_kernel,
+    gf2_matmul,
+    gf2_rank,
+    gf2_row_reduce,
+    gf2_row_space,
+    gf2_solve,
+    in_row_space,
+)
+
+
+def random_matrix(rows: int, cols: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=(rows, cols), dtype=np.uint8)
+
+
+matrix_strategy = st.tuples(
+    st.integers(1, 8), st.integers(1, 8), st.integers(0, 10_000)
+).map(lambda args: random_matrix(*args))
+
+
+class TestRowReduce:
+    def test_identity_is_fixed_point(self):
+        eye = np.eye(4, dtype=np.uint8)
+        rref, pivots = gf2_row_reduce(eye)
+        assert np.array_equal(rref, eye)
+        assert pivots == [0, 1, 2, 3]
+
+    def test_zero_matrix(self):
+        z = np.zeros((3, 5), dtype=np.uint8)
+        rref, pivots = gf2_row_reduce(z)
+        assert not rref.any()
+        assert pivots == []
+
+    def test_single_dependent_row(self):
+        m = np.array([[1, 0, 1], [1, 0, 1]], dtype=np.uint8)
+        assert gf2_rank(m) == 1
+
+    def test_accepts_vector(self):
+        rref, pivots = gf2_row_reduce(np.array([0, 1, 1], dtype=np.uint8))
+        assert pivots == [1]
+
+    @given(matrix_strategy)
+    @settings(max_examples=50)
+    def test_rref_has_same_row_space(self, m):
+        rref, _ = gf2_row_reduce(m)
+        for row in m:
+            assert in_row_space(rref, row)
+        for row in rref:
+            if row.any():
+                assert in_row_space(m, row)
+
+    @given(matrix_strategy)
+    @settings(max_examples=50)
+    def test_pivot_columns_are_unit(self, m):
+        rref, pivots = gf2_row_reduce(m)
+        for r, c in enumerate(pivots):
+            col = rref[:, c]
+            assert col[r] == 1
+            assert col.sum() == 1
+
+
+class TestRankAndKernel:
+    @given(matrix_strategy)
+    @settings(max_examples=50)
+    def test_rank_nullity(self, m):
+        assert gf2_rank(m) + gf2_kernel(m).shape[0] == m.shape[1]
+
+    @given(matrix_strategy)
+    @settings(max_examples=50)
+    def test_kernel_annihilated(self, m):
+        for v in gf2_kernel(m):
+            assert not gf2_matmul(m, v).any()
+
+    def test_kernel_of_full_rank_square(self):
+        m = np.array([[1, 1], [0, 1]], dtype=np.uint8)
+        assert gf2_kernel(m).shape[0] == 0
+
+    def test_rank_bounds(self):
+        m = random_matrix(5, 9, 3)
+        assert 0 <= gf2_rank(m) <= 5
+
+
+class TestSolve:
+    @given(matrix_strategy, st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_solve_consistent_system(self, m, seed):
+        rng = np.random.default_rng(seed)
+        x_true = rng.integers(0, 2, size=m.shape[1], dtype=np.uint8)
+        b = gf2_matmul(m, x_true)
+        x = gf2_solve(m, b)
+        assert x is not None
+        assert np.array_equal(gf2_matmul(m, x), b)
+
+    def test_solve_inconsistent(self):
+        m = np.array([[1, 0], [1, 0]], dtype=np.uint8)
+        b = np.array([0, 1], dtype=np.uint8)
+        assert gf2_solve(m, b) is None
+
+    def test_solve_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gf2_solve(np.eye(2, dtype=np.uint8), np.zeros(3, dtype=np.uint8))
+
+
+class TestInverse:
+    def test_identity(self):
+        eye = np.eye(5, dtype=np.uint8)
+        assert np.array_equal(gf2_inverse(eye), eye)
+
+    def test_known_inverse(self):
+        m = np.array([[1, 1], [0, 1]], dtype=np.uint8)
+        inv = gf2_inverse(m)
+        assert np.array_equal(gf2_matmul(m, inv), np.eye(2, dtype=np.uint8))
+
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            gf2_inverse(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            gf2_inverse(np.zeros((2, 3), dtype=np.uint8))
+
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    @settings(max_examples=30)
+    def test_random_invertible(self, seed, k):
+        rng = np.random.default_rng(seed)
+        while True:
+            m = rng.integers(0, 2, size=(k, k), dtype=np.uint8)
+            if gf2_rank(m) == k:
+                break
+        inv = gf2_inverse(m)
+        assert np.array_equal(gf2_matmul(inv, m), np.eye(k, dtype=np.uint8))
+
+
+class TestRowSpace:
+    def test_row_space_membership(self):
+        m = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        assert in_row_space(m, np.array([1, 1, 0], dtype=np.uint8))
+        assert not in_row_space(m, np.array([1, 1, 1], dtype=np.uint8))
+
+    def test_row_space_basis_rank(self):
+        m = random_matrix(6, 6, 7)
+        basis = gf2_row_space(m)
+        assert basis.shape[0] == gf2_rank(m)

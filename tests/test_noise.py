@@ -1,0 +1,123 @@
+"""Tests for error models: stochastic, coherent, leakage."""
+
+import numpy as np
+import pytest
+
+from repro.noise import (
+    CODE_CAPACITY,
+    LeakageModel,
+    NoiseModel,
+    circuit_level,
+    coherent_overrotation_error,
+    random_phase_walk_error,
+    systematic_threshold_penalty,
+)
+from repro.noise.coherent import simulate_rotation_walk
+
+
+class TestNoiseModel:
+    def test_defaults_trivial(self):
+        assert NoiseModel().is_trivial
+
+    def test_scaled(self):
+        m = circuit_level(1e-3).scaled(2.0)
+        assert m.eps_gate1 == pytest.approx(2e-3)
+        assert m.eps_store == pytest.approx(2e-3)
+
+    def test_scaled_clips(self):
+        m = NoiseModel(eps_gate1=0.6).scaled(2.0)
+        assert m.eps_gate1 == 1.0
+
+    def test_code_capacity(self):
+        m = CODE_CAPACITY(0.01)
+        assert m.eps_store == 0.01
+        assert m.eps_gate1 == 0.0
+
+    def test_circuit_level_ratios(self):
+        m = circuit_level(1e-3, storage_ratio=0.5)
+        assert m.eps_store == pytest.approx(5e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(eps_meas=-0.1)
+
+
+class TestCoherentErrors:
+    def test_systematic_quadratic_growth(self):
+        # §6: systematic amplitudes add linearly -> probability ~ N².
+        theta = 1e-3
+        p10 = coherent_overrotation_error(theta, 10)
+        p100 = coherent_overrotation_error(theta, 100)
+        assert p100 / p10 == pytest.approx(100.0, rel=0.01)
+
+    def test_random_linear_growth(self):
+        theta = 1e-3
+        p10 = random_phase_walk_error(theta, 10)
+        p100 = random_phase_walk_error(theta, 100)
+        assert p100 / p10 == pytest.approx(10.0, rel=0.01)
+
+    def test_systematic_exact_formula(self):
+        assert coherent_overrotation_error(np.pi, 1) == pytest.approx(1.0)
+        assert coherent_overrotation_error(np.pi / 2, 2) == pytest.approx(1.0)
+        assert coherent_overrotation_error(0.0, 50) == 0.0
+
+    def test_monte_carlo_matches_exact(self):
+        theta, n = 0.05, 40
+        mc = simulate_rotation_walk(theta, n, trials=40_000, systematic=False, seed=3)
+        exact = random_phase_walk_error(theta, n)
+        assert mc == pytest.approx(exact, abs=2e-3)
+        mc_sys = simulate_rotation_walk(theta, n, trials=10, systematic=True, seed=3)
+        assert mc_sys == pytest.approx(coherent_overrotation_error(theta, n))
+
+    def test_threshold_penalty(self):
+        # §6: systematic threshold is of order ε₀².
+        assert systematic_threshold_penalty(6e-4) == pytest.approx(3.6e-7)
+        with pytest.raises(ValueError):
+            systematic_threshold_penalty(2.0)
+
+    def test_negative_gates_rejected(self):
+        with pytest.raises(ValueError):
+            coherent_overrotation_error(0.1, -1)
+
+
+class TestLeakage:
+    def test_exposure_accumulates(self):
+        model = LeakageModel(p_leak=0.5)
+        leaked = np.zeros(10_000, dtype=bool)
+        model.expose(leaked, steps=2, rng=0)
+        expected = 1 - 0.5**2
+        assert leaked.mean() == pytest.approx(expected, abs=0.02)
+
+    def test_leaks_are_absorbing(self):
+        model = LeakageModel(p_leak=0.0)
+        leaked = np.ones(5, dtype=bool)
+        model.expose(leaked, steps=3, rng=0)
+        assert leaked.all()
+
+    def test_ideal_detection(self):
+        model = LeakageModel(p_leak=0.1)
+        leaked = np.array([True, False, True])
+        det = model.detect(leaked, rng=0)
+        assert det.tolist() == [0, 1, 0]
+
+    def test_noisy_detection_rate(self):
+        model = LeakageModel(p_leak=0.0, p_detect_flip=0.25)
+        leaked = np.zeros(40_000, dtype=bool)
+        det = model.detect(leaked, rng=1)
+        assert (det == 0).mean() == pytest.approx(0.25, abs=0.01)
+
+    def test_replacement_clears_and_marks(self):
+        rng = np.random.default_rng(0)
+        model = LeakageModel(p_leak=0.0)
+        leaked = np.array([True, False])
+        det = np.array([0, 1], dtype=np.uint8)
+        fx = np.zeros(2, dtype=np.uint8)
+        fz = np.zeros(2, dtype=np.uint8)
+        model.replace_detected(leaked, det, fx, fz, rng)
+        assert not leaked[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeakageModel(p_leak=1.5)
+        with pytest.raises(ValueError):
+            LeakageModel(p_leak=0.1, p_detect_flip=-1)

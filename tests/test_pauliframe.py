@@ -1,0 +1,194 @@
+"""Tests for the Pauli-frame Monte Carlo engine.
+
+The frame rules are validated in two ways: algebraically (known conjugation
+tables) and statistically (injected error rates reappear in measurement
+flip rates).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.noise import NoiseModel
+from repro.pauliframe import FrameSimulator
+
+
+def run_with_initial(circuit, fx=None, fz=None, shots=1):
+    sim = FrameSimulator(circuit)
+    n = circuit.num_qubits
+    init_x = np.zeros((shots, n), dtype=np.uint8)
+    init_z = np.zeros((shots, n), dtype=np.uint8)
+    if fx:
+        for q in fx:
+            init_x[:, q] = 1
+    if fz:
+        for q in fz:
+            init_z[:, q] = 1
+    return sim.run(shots, seed=0, initial_fx=init_x, initial_fz=init_z)
+
+
+class TestFramePropagation:
+    def test_h_swaps_xz(self):
+        c = Circuit(1).h(0)
+        res = run_with_initial(c, fx=[0])
+        assert res.fx[0, 0] == 0 and res.fz[0, 0] == 1
+
+    def test_s_maps_x_to_y(self):
+        c = Circuit(1).s(0)
+        res = run_with_initial(c, fx=[0])
+        assert res.fx[0, 0] == 1 and res.fz[0, 0] == 1
+
+    def test_cnot_forward_bitflip(self):
+        # §3.1: "if a bit flip occurs ... source qubit of an XOR ... the bit
+        # flip will propagate forward to the target".
+        c = Circuit(2).cnot(0, 1)
+        res = run_with_initial(c, fx=[0])
+        assert res.fx[0, 1] == 1
+
+    def test_cnot_backward_phase(self):
+        # §3.1: "if a phase error occurs ... target qubit of an XOR ...
+        # the error will propagate backward to the source".
+        c = Circuit(2).cnot(0, 1)
+        res = run_with_initial(c, fz=[1])
+        assert res.fz[0, 0] == 1
+
+    def test_cnot_x_on_target_stays(self):
+        c = Circuit(2).cnot(0, 1)
+        res = run_with_initial(c, fx=[1])
+        assert res.fx[0, 0] == 0 and res.fx[0, 1] == 1
+
+    def test_cz_x_picks_up_z(self):
+        c = Circuit(2).cz(0, 1)
+        res = run_with_initial(c, fx=[0])
+        assert res.fz[0, 1] == 1 and res.fx[0, 0] == 1
+
+    def test_swap_exchanges(self):
+        c = Circuit(2).append("SWAP", 0, 1)
+        res = run_with_initial(c, fx=[0], fz=[0])
+        assert res.fx[0, 1] == 1 and res.fz[0, 1] == 1
+        assert res.fx[0, 0] == 0 and res.fz[0, 0] == 0
+
+    def test_cy_conjugation_table(self):
+        # X_c -> X_c Y_t.
+        c = Circuit(2).append("CY", 0, 1)
+        res = run_with_initial(c, fx=[0])
+        assert res.fx[0, 1] == 1 and res.fz[0, 1] == 1
+        # X_t -> Z_c X_t.
+        res = run_with_initial(c, fx=[1])
+        assert res.fz[0, 0] == 1 and res.fx[0, 1] == 1
+        # Z_t -> Z_c Z_t.
+        res = run_with_initial(c, fz=[1])
+        assert res.fz[0, 0] == 1 and res.fz[0, 1] == 1
+
+    def test_pauli_gates_transparent(self):
+        c = Circuit(1).x(0).z(0).y(0)
+        res = run_with_initial(c, fx=[0])
+        assert res.fx[0, 0] == 1 and res.fz[0, 0] == 0
+
+
+class TestMeasurementSemantics:
+    def test_x_frame_flips_z_measurement(self):
+        c = Circuit(1, 1).measure(0, 0)
+        res = run_with_initial(c, fx=[0])
+        assert res.meas_flips[0, 0] == 1
+
+    def test_z_frame_invisible_to_z_measurement(self):
+        c = Circuit(1, 1).measure(0, 0)
+        res = run_with_initial(c, fz=[0])
+        assert res.meas_flips[0, 0] == 0
+        assert res.fz[0, 0] == 0  # absorbed by the collapse
+
+    def test_z_frame_flips_x_measurement(self):
+        c = Circuit(1, 1).measure_x(0, 0)
+        res = run_with_initial(c, fz=[0])
+        assert res.meas_flips[0, 0] == 1
+
+    def test_reset_clears_frames(self):
+        c = Circuit(1).reset(0)
+        res = run_with_initial(c, fx=[0], fz=[0])
+        assert res.fx[0, 0] == 0 and res.fz[0, 0] == 0
+
+    def test_conditional_correction_closes_loop(self):
+        # Measure, then X conditioned on the outcome: an injected X error
+        # is detected and cancelled.
+        c = Circuit(1, 1).measure(0, 0).x(0, condition=(0,))
+        res = run_with_initial(c, fx=[0])
+        assert res.fx[0, 0] == 0
+
+    def test_non_pauli_conditional_rejected(self):
+        c = Circuit(1, 1).measure(0, 0)
+        c.h(0, condition=(0,))
+        with pytest.raises(ValueError):
+            FrameSimulator(c)
+
+    def test_ccx_rejected(self):
+        c = Circuit(3).ccx(0, 1, 2)
+        with pytest.raises(ValueError):
+            FrameSimulator(c)
+
+
+class TestNoiseInjection:
+    def test_gate_noise_rate(self):
+        c = Circuit(1, 1).h(0).measure(0, 0)
+        eps = 0.3
+        sim = FrameSimulator(c, NoiseModel(eps_gate1=eps))
+        res = sim.run(60_000, seed=1)
+        # After H, a depolarizing error hits with prob eps; 2/3 of the time
+        # it includes an X component that flips the measurement.
+        rate = res.meas_flips[:, 0].mean()
+        assert rate == pytest.approx(eps * 2 / 3, abs=0.01)
+
+    def test_measurement_noise_rate(self):
+        c = Circuit(1, 1).measure(0, 0)
+        sim = FrameSimulator(c, NoiseModel(eps_meas=0.2))
+        res = sim.run(60_000, seed=2)
+        assert res.meas_flips[:, 0].mean() == pytest.approx(0.2, abs=0.01)
+
+    def test_prep_noise_rate(self):
+        c = Circuit(1, 1).reset(0).measure(0, 0)
+        sim = FrameSimulator(c, NoiseModel(eps_prep=0.15))
+        res = sim.run(60_000, seed=3)
+        assert res.meas_flips[:, 0].mean() == pytest.approx(0.15, abs=0.01)
+
+    def test_storage_noise_on_tick(self):
+        c = Circuit(2, 0)
+        c.tick()
+        sim = FrameSimulator(c, NoiseModel(eps_store=0.3))
+        res = sim.run(40_000, seed=4)
+        any_error = (res.fx | res.fz).any(axis=1).mean()
+        expected = 1 - (1 - 0.3) ** 2
+        assert any_error == pytest.approx(expected, abs=0.01)
+
+    def test_two_qubit_both_damaged(self):
+        c = Circuit(2).cnot(0, 1)
+        sim = FrameSimulator(c, NoiseModel(eps_gate2=0.5, two_qubit_mode="both_damaged"))
+        res = sim.run(40_000, seed=5)
+        hit0 = (res.fx[:, 0] | res.fz[:, 0]).astype(bool)
+        hit1 = (res.fx[:, 1] | res.fz[:, 1]).astype(bool)
+        # Under the pessimistic model, errors arrive on both qubits together.
+        assert (hit0 & hit1).mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_two_qubit_depolarizing15(self):
+        c = Circuit(2).cnot(0, 1)
+        sim = FrameSimulator(c, NoiseModel(eps_gate2=0.5, two_qubit_mode="depolarizing15"))
+        res = sim.run(60_000, seed=6)
+        hit_any = (res.fx | res.fz).any(axis=1).mean()
+        assert hit_any == pytest.approx(0.5, abs=0.02)
+        # One-sided errors must occur in this mode (weight-1 of the 15).
+        hit0_only = ((res.fx[:, 0] | res.fz[:, 0]) & ~(res.fx[:, 1] | res.fz[:, 1])).mean()
+        assert hit0_only > 0.05
+
+    def test_noiseless_is_deterministic(self):
+        c = Circuit(3, 3)
+        c.h(0).cnot(0, 1).cnot(1, 2)
+        for q in range(3):
+            c.measure(q, q)
+        res = FrameSimulator(c).run(100, seed=7)
+        assert not res.meas_flips.any()
+        assert not res.fx.any() and not res.fz.any()
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(eps_gate1=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(two_qubit_mode="nope")

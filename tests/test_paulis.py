@@ -1,0 +1,132 @@
+"""Tests for the symplectic Pauli algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paulis import Pauli, pauli_from_string, symplectic_product
+
+pauli_string = st.text(alphabet="IXYZ", min_size=1, max_size=6)
+
+
+class TestConstruction:
+    def test_from_string_roundtrip(self):
+        p = pauli_from_string("XIZZY")
+        assert p.letters() == "XIZZY"
+
+    def test_phases_parsed(self):
+        assert pauli_from_string("-X").phase == 2
+        assert pauli_from_string("+iZ").phase == 1
+        assert pauli_from_string("-iY").phase == (3 + 1) % 4  # -i times the Y's own i
+
+    def test_invalid_string(self):
+        with pytest.raises(ValueError):
+            pauli_from_string("XQ")
+        with pytest.raises(ValueError):
+            pauli_from_string("")
+
+    def test_single_embeds(self):
+        p = Pauli.single(4, 2, "Y")
+        assert p.letters() == "IIYI"
+        assert p.weight() == 1
+
+    def test_immutable(self):
+        p = pauli_from_string("X")
+        with pytest.raises(AttributeError):
+            p.phase = 3
+
+    def test_mismatched_xz_lengths(self):
+        with pytest.raises(ValueError):
+            Pauli(np.array([1, 0]), np.array([1]))
+
+
+class TestAlgebra:
+    def test_xz_equals_minus_iy(self):
+        x = pauli_from_string("X")
+        z = pauli_from_string("Z")
+        y = pauli_from_string("Y")
+        xz = x * z
+        # XZ = -iY: same letters, phase differing by -i.
+        assert xz.equal_up_to_phase(y)
+        assert (xz.phase - y.phase) % 4 == 3
+
+    def test_squares_to_identity(self):
+        for s in ("X", "Y", "Z"):
+            p = pauli_from_string(s)
+            sq = p * p
+            assert sq.is_identity()
+
+    @given(pauli_string)
+    @settings(max_examples=50)
+    def test_self_product_identity(self, s):
+        p = pauli_from_string(s)
+        assert (p * p).is_identity()
+
+    @given(pauli_string, st.data())
+    @settings(max_examples=50)
+    def test_commutation_symmetric(self, s, data):
+        t = data.draw(st.text(alphabet="IXYZ", min_size=len(s), max_size=len(s)))
+        p, q = pauli_from_string(s), pauli_from_string(t)
+        assert p.commutes_with(q) == q.commutes_with(p)
+
+    def test_anticommutation_xz(self):
+        assert not pauli_from_string("X").commutes_with(pauli_from_string("Z"))
+        assert pauli_from_string("XX").commutes_with(pauli_from_string("ZZ"))
+
+    def test_weight(self):
+        assert pauli_from_string("IXIYZ").weight() == 3
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pauli_from_string("XX").commutes_with(pauli_from_string("X"))
+
+    def test_symplectic_product_matches_commutation(self):
+        p, q = pauli_from_string("XYZI"), pauli_from_string("ZZXY")
+        sp = symplectic_product(p.x, p.z, q.x, q.z)
+        assert (sp == 0) == p.commutes_with(q)
+
+
+class TestDenseMatrices:
+    @pytest.mark.parametrize(
+        "s,mat",
+        [
+            ("X", np.array([[0, 1], [1, 0]])),
+            ("Z", np.array([[1, 0], [0, -1]])),
+            ("Y", np.array([[0, -1j], [1j, 0]])),
+        ],
+    )
+    def test_single_qubit_matrices(self, s, mat):
+        assert np.allclose(pauli_from_string(s).to_matrix(), mat)
+
+    @given(pauli_string, st.data())
+    @settings(max_examples=25)
+    def test_product_matches_matrix_product(self, s, data):
+        t = data.draw(st.text(alphabet="IXYZ", min_size=len(s), max_size=len(s)))
+        p, q = pauli_from_string(s), pauli_from_string(t)
+        lhs = (p * q).to_matrix()
+        rhs = p.to_matrix() @ q.to_matrix()
+        assert np.allclose(lhs, rhs)
+
+    @given(pauli_string)
+    @settings(max_examples=25)
+    def test_matrices_unitary_hermitian(self, s):
+        m = pauli_from_string(s).to_matrix()
+        eye = np.eye(m.shape[0])
+        assert np.allclose(m @ m.conj().T, eye)
+        assert np.allclose(m, m.conj().T)  # phase-0 strings are Hermitian
+
+    def test_refuses_large_matrix(self):
+        with pytest.raises(ValueError):
+            Pauli.identity(13).to_matrix()
+
+
+class TestHashingEquality:
+    def test_equal_and_hash(self):
+        a, b = pauli_from_string("XZ"), pauli_from_string("XZ")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_phase_distinguishes(self):
+        assert pauli_from_string("X") != pauli_from_string("-X")
+        assert pauli_from_string("X").equal_up_to_phase(pauli_from_string("-X"))

@@ -1,0 +1,166 @@
+"""Tests for the CHP stabilizer tableau, cross-checked against the dense
+simulator on random Clifford circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.paulis import pauli_from_string
+from repro.stabilizer import StabilizerSimulator
+from repro.statevector import StateVector, run_circuit
+
+
+def random_clifford_circuit(n: int, depth: int, seed: int, measure: bool = False) -> Circuit:
+    rng = np.random.default_rng(seed)
+    c = Circuit(n, n if measure else 0)
+    one_q = ["H", "S", "X", "Z", "SDG", "Y", "RPRIME"]
+    for _ in range(depth):
+        if n >= 2 and rng.random() < 0.4:
+            a, b = rng.choice(n, size=2, replace=False)
+            c.append(rng.choice(["CNOT", "CZ", "SWAP"]), int(a), int(b))
+        else:
+            c.append(str(rng.choice(one_q)), int(rng.integers(n)))
+    return c
+
+
+class TestSingleQubit:
+    def test_plus_state_stabilizer(self):
+        sim = StabilizerSimulator(1)
+        sim.h(0)
+        gens = sim.stabilizer_generators()
+        assert gens[0] == pauli_from_string("X")
+
+    def test_x_flips_sign(self):
+        sim = StabilizerSimulator(1)
+        sim.x_gate(0)
+        assert sim.pauli_expectation(pauli_from_string("Z")) == -1
+
+    def test_s_gate_maps_x_to_y(self):
+        sim = StabilizerSimulator(1)
+        sim.h(0)  # stabilizer X
+        sim.s(0)  # stabilizer Y
+        assert sim.pauli_expectation(pauli_from_string("Y")) == 1
+
+    def test_sdg_inverse_of_s(self):
+        sim = StabilizerSimulator(1)
+        sim.h(0)
+        sim.s(0)
+        sim.sdg(0)
+        assert sim.pauli_expectation(pauli_from_string("X")) == 1
+
+    def test_expectation_indeterminate(self):
+        sim = StabilizerSimulator(1)
+        assert sim.pauli_expectation(pauli_from_string("X")) is None
+
+
+class TestMeasurement:
+    def test_deterministic_zero(self):
+        sim = StabilizerSimulator(2)
+        assert sim.measure(0, np.random.default_rng(0)) == 0
+
+    def test_forced_conflict_raises(self):
+        sim = StabilizerSimulator(1)
+        with pytest.raises(ValueError):
+            sim.measure(0, force=1)
+
+    def test_random_outcome_collapses(self):
+        sim = StabilizerSimulator(1)
+        sim.h(0)
+        out = sim.measure(0, np.random.default_rng(1))
+        # Second measurement must repeat the result.
+        assert sim.measure(0, np.random.default_rng(2)) == out
+
+    def test_bell_correlation(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            sim = StabilizerSimulator(2)
+            sim.h(0)
+            sim.cnot(0, 1)
+            assert sim.measure(0, rng) == sim.measure(1, rng)
+
+    def test_ghz_parity_in_x_basis(self):
+        # X⊗X⊗X stabilizes GHZ: X-basis outcomes have even parity.
+        rng = np.random.default_rng(9)
+        for _ in range(10):
+            sim = StabilizerSimulator(3)
+            sim.h(0)
+            sim.cnot(0, 1)
+            sim.cnot(0, 2)
+            outs = []
+            for q in range(3):
+                sim.h(q)
+                outs.append(sim.measure(q, rng))
+            assert sum(outs) % 2 == 0
+
+    def test_reset(self):
+        sim = StabilizerSimulator(1)
+        sim.h(0)
+        sim.reset(0, np.random.default_rng(3))
+        assert sim.measure(0, np.random.default_rng(4)) == 0
+
+
+class TestAgainstDense:
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_measurements_agree(self, seed):
+        """Run a random Clifford circuit on both simulators; every Pauli
+        expectation that the tableau calls deterministic must match the
+        dense expectation value."""
+        n = 3
+        circuit = random_clifford_circuit(n, 12, seed)
+        tab = StabilizerSimulator(n)
+        tab.run(circuit)
+        sv, _ = run_circuit(circuit)
+        for s in ("ZII", "IZI", "IIZ", "XXX", "ZZI", "XIX", "YYI"):
+            p = pauli_from_string(s)
+            expect = tab.pauli_expectation(p)
+            dense = sv.expectation_pauli(p)
+            if expect is None:
+                assert abs(dense) < 1e-9
+            else:
+                assert dense == pytest.approx(float(expect), abs=1e-9)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_measurement_distribution_matches(self, seed):
+        n = 2
+        circuit = random_clifford_circuit(n, 8, seed)
+        # Deterministic comparison: measure qubit 0 on the dense simulator
+        # and check its probability is 0, 1/2, or 1 consistent with tableau.
+        tab = StabilizerSimulator(n)
+        tab.run(circuit)
+        sv, _ = run_circuit(circuit)
+        p0 = sv.probability_of_zero(0)
+        z0 = tab.pauli_expectation(pauli_from_string("ZI"))
+        if z0 is None:
+            assert p0 == pytest.approx(0.5, abs=1e-9)
+        else:
+            assert p0 == pytest.approx((1 + z0) / 2, abs=1e-9)
+
+
+class TestCircuitInterface:
+    def test_run_records_measurements(self):
+        c = Circuit(2, 2).h(0).cnot(0, 1).measure(0, 0).measure(1, 1)
+        sim = StabilizerSimulator(2)
+        record = sim.run(c, rng=17)
+        assert record[0] == record[1]
+
+    def test_conditional_execution(self):
+        c = Circuit(2, 1).x(0).measure(0, 0).x(1, condition=(0,))
+        sim = StabilizerSimulator(2)
+        sim.run(c)
+        assert sim.measure(1, np.random.default_rng(0)) == 1
+
+    def test_non_clifford_rejected(self):
+        c = Circuit(3).ccx(0, 1, 2)
+        sim = StabilizerSimulator(3)
+        with pytest.raises(ValueError):
+            sim.run(c)
+
+    def test_forced_outcomes(self):
+        c = Circuit(1, 1).h(0).measure(0, 0)
+        sim = StabilizerSimulator(1)
+        record = sim.run(c, forced_outcomes={0: 1})
+        assert record[0] == 1

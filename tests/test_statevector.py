@@ -1,0 +1,207 @@
+"""Tests for the dense statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.paulis import pauli_from_string
+from repro.statevector import StateVector, run_circuit
+
+
+class TestBasics:
+    def test_initial_state(self):
+        sv = StateVector(2)
+        amps = sv.amplitudes()
+        assert amps[0] == 1.0 and np.allclose(amps[1:], 0)
+
+    def test_qubit_zero_is_msb(self):
+        sv = StateVector(2)
+        sv.apply_gate("X", 0)
+        assert abs(sv.amplitudes()[0b10]) == pytest.approx(1.0)
+
+    def test_from_amplitudes_normalizes(self):
+        sv = StateVector.from_amplitudes(np.array([2.0, 0, 0, 0]))
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_from_amplitudes_bad_length(self):
+        with pytest.raises(ValueError):
+            StateVector.from_amplitudes(np.ones(3))
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            StateVector.from_amplitudes(np.zeros(4))
+
+    def test_too_many_qubits(self):
+        with pytest.raises(ValueError):
+            StateVector(21)
+
+
+class TestGates:
+    def test_bell_state(self):
+        c = Circuit(2).h(0).cnot(0, 1)
+        sv, _ = run_circuit(c)
+        expected = np.zeros(4, dtype=complex)
+        expected[0b00] = expected[0b11] = 1 / np.sqrt(2)
+        assert sv.fidelity(expected) == pytest.approx(1.0)
+
+    def test_ghz_state(self):
+        c = Circuit(3).h(0).cnot(0, 1).cnot(0, 2)
+        sv, _ = run_circuit(c)
+        amps = sv.amplitudes()
+        assert abs(amps[0b000]) == pytest.approx(1 / np.sqrt(2))
+        assert abs(amps[0b111]) == pytest.approx(1 / np.sqrt(2))
+
+    def test_toffoli_truth_table(self):
+        # Fig. 1: z -> z XOR xy.
+        for x in (0, 1):
+            for y in (0, 1):
+                for z in (0, 1):
+                    sv = StateVector(3)
+                    if x:
+                        sv.apply_gate("X", 0)
+                    if y:
+                        sv.apply_gate("X", 1)
+                    if z:
+                        sv.apply_gate("X", 2)
+                    sv.apply_gate("CCX", 0, 1, 2)
+                    idx = (x << 2) | (y << 1) | (z ^ (x & y))
+                    assert abs(sv.amplitudes()[idx]) == pytest.approx(1.0)
+
+    def test_hadamard_conjugates_x_to_z(self):
+        # Fig. 5's identity rests on H X H = Z.
+        sv = StateVector(1)
+        sv.apply_gate("H", 0)
+        sv.apply_gate("Z", 0)
+        sv.apply_gate("H", 0)
+        ref = StateVector(1)
+        ref.apply_gate("X", 0)
+        assert sv.fidelity(ref) == pytest.approx(1.0)
+
+    def test_xor_direction_swap_identity_fig5(self):
+        # Fig. 5: H⊗H · CNOT(a->b) · H⊗H = CNOT(b->a).
+        rng = np.random.default_rng(0)
+        amps = rng.normal(size=4) + 1j * rng.normal(size=4)
+        sv1 = StateVector.from_amplitudes(amps)
+        sv2 = sv1.copy()
+        for q in (0, 1):
+            sv1.apply_gate("H", q)
+        sv1.apply_gate("CNOT", 0, 1)
+        for q in (0, 1):
+            sv1.apply_gate("H", q)
+        sv2.apply_gate("CNOT", 1, 0)
+        assert sv1.fidelity(sv2) == pytest.approx(1.0)
+
+    def test_rprime_conjugates_y_to_minus_z(self):
+        # Eq. (20): R' is used to rotate Y-checks into Z-checks.
+        rp = pauli_from_string("Y").to_matrix()
+        from repro.circuits.gates import gate_matrix
+
+        r = gate_matrix("RPRIME")
+        conj = r @ rp @ r.conj().T
+        assert np.allclose(conj, -pauli_from_string("Z").to_matrix())
+
+
+class TestMeasurement:
+    def test_deterministic_measure(self):
+        sv = StateVector(1)
+        assert sv.measure(0, np.random.default_rng(0)) == 0
+
+    def test_plus_state_statistics(self):
+        rng = np.random.default_rng(42)
+        ones = 0
+        for _ in range(200):
+            sv = StateVector(1)
+            sv.apply_gate("H", 0)
+            ones += sv.measure(0, rng)
+        assert 60 < ones < 140
+
+    def test_forced_outcome(self):
+        sv = StateVector(1)
+        sv.apply_gate("H", 0)
+        assert sv.measure(0, force=1) == 1
+        # State collapsed to |1>.
+        assert abs(sv.amplitudes()[1]) == pytest.approx(1.0)
+
+    def test_forced_impossible_outcome(self):
+        sv = StateVector(1)
+        with pytest.raises(ValueError):
+            sv.measure(0, force=1)
+
+    def test_bell_correlations(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            c = Circuit(2, 2).h(0).cnot(0, 1).measure(0, 0).measure(1, 1)
+            _, record = run_circuit(c, rng=rng)
+            assert record[0] == record[1]
+
+    def test_reset(self):
+        sv = StateVector(1)
+        sv.apply_gate("X", 0)
+        sv.reset(0, np.random.default_rng(0))
+        assert sv.probability_of_zero(0) == pytest.approx(1.0)
+
+
+class TestConditionals:
+    def test_conditioned_on_one(self):
+        c = Circuit(2, 1)
+        c.x(0).measure(0, 0)
+        c.x(1, condition=(0,))
+        sv, record = run_circuit(c)
+        assert record[0] == 1
+        assert abs(sv.amplitudes()[0b11]) == pytest.approx(1.0)
+
+    def test_conditioned_on_zero_skipped(self):
+        c = Circuit(2, 1)
+        c.measure(0, 0)
+        c.x(1, condition=(0,))
+        sv, _ = run_circuit(c)
+        assert abs(sv.amplitudes()[0b00]) == pytest.approx(1.0)
+
+    def test_parity_condition(self):
+        # Condition on XOR of two bits.
+        c = Circuit(3, 2)
+        c.x(0).measure(0, 0).measure(1, 1)
+        c.x(2, condition=(0, 1))
+        sv, _ = run_circuit(c)
+        assert abs(sv.amplitudes()[0b101]) == pytest.approx(1.0)
+
+    def test_mx_measurement(self):
+        c = Circuit(1, 1).h(0).measure_x(0, 0)
+        _, record = run_circuit(c)
+        assert record[0] == 0  # |+> is the +1 eigenstate of X
+
+    def test_teleportation(self):
+        # End-to-end check of gates + measurement + conditionals.
+        rng = np.random.default_rng(7)
+        theta = 1.234
+        for _ in range(8):
+            c = Circuit(3, 2)
+            # Entangle qubits 1, 2.
+            c.h(1).cnot(1, 2)
+            # Bell measurement of (0, 1).
+            c.cnot(0, 1).h(0).measure(0, 0).measure(1, 1)
+            c.x(2, condition=(1,))
+            c.z(2, condition=(0,))
+            # Prepare the unknown state on qubit 0 before running.
+            sv = StateVector(3)
+            u = np.array(
+                [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]],
+                dtype=complex,
+            )
+            sv.apply_unitary(u, (0,))
+            out, _ = run_circuit(c, state=sv, rng=rng)
+            # Qubit 2 should now carry cos|0> + sin|1>.
+            expected = np.zeros(8, dtype=complex)
+            expected[0b000] = np.cos(theta)
+            expected[0b001] = np.sin(theta)
+            # Qubits 0, 1 are in a random post-measurement state; check by
+            # tracing: probability amplitudes conditional on their record.
+            amps = out.amplitudes().reshape(2, 2, 2)
+            vec = None
+            for i in range(2):
+                for j in range(2):
+                    sub = amps[i, j]
+                    if np.linalg.norm(sub) > 1e-9:
+                        vec = sub
+            overlap = abs(np.vdot(vec, np.array([np.cos(theta), np.sin(theta)]))) ** 2
+            assert overlap == pytest.approx(1.0)

@@ -1,0 +1,154 @@
+"""Tests for the flow equations (Eq. 33/36) and code-family scaling
+(Eqs. 30–32, 37)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.threshold import (
+    CONCATENATION_COEFFICIENT,
+    block_error_probability,
+    block_size_required,
+    flow_map,
+    iterate_flow,
+    levels_needed,
+    logical_rate_closed_form,
+    minimum_block_error,
+    optimal_t,
+    required_accuracy,
+    threshold_from_coefficient,
+    toffoli_flow,
+)
+from repro.threshold.flow import ToffoliFlowParams, tolerated_toffoli_rate
+
+
+class TestFlowEquation:
+    def test_coefficient_is_21(self):
+        # Eq. (33): C(7,2) = 21.
+        assert CONCATENATION_COEFFICIENT == 21.0
+
+    def test_threshold_is_one_twentyfirst(self):
+        assert threshold_from_coefficient() == pytest.approx(1 / 21)
+
+    def test_flow_map(self):
+        assert flow_map(0.01) == pytest.approx(21 * 1e-4)
+
+    def test_below_threshold_converges(self):
+        seq = iterate_flow(0.04, 8)
+        assert seq[-1] < 1e-20
+
+    def test_above_threshold_diverges(self):
+        seq = iterate_flow(0.06, 12)
+        assert seq[-1] > 0.06
+
+    def test_fixed_point(self):
+        p_star = 1 / 21
+        seq = iterate_flow(p_star, 5)
+        for p in seq:
+            assert p == pytest.approx(p_star)
+
+    @given(st.floats(1e-6, 0.04), st.integers(0, 6))
+    @settings(max_examples=40)
+    def test_closed_form_matches_iteration(self, p0, levels):
+        iterated = iterate_flow(p0, levels)[-1]
+        closed = logical_rate_closed_form(p0, levels)
+        assert math.isclose(iterated, closed, rel_tol=1e-9)
+
+    def test_levels_needed_monotone(self):
+        l1 = levels_needed(1e-3, 1e-6)
+        l2 = levels_needed(1e-3, 1e-15)
+        assert l2 >= l1
+
+    def test_levels_needed_paper_example(self):
+        # ε = 1e-6 is far below 1/21: a couple of levels give astronomical
+        # suppression (the paper's L = 3 block-343 example is driven by
+        # the much larger *effective* level-0 error; see EXPERIMENTS.md).
+        assert levels_needed(1e-6, 1e-12) <= 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            levels_needed(0.1, 1e-6)  # above threshold
+        with pytest.raises(ValueError):
+            flow_map(-0.1)
+        with pytest.raises(ValueError):
+            threshold_from_coefficient(0.0)
+
+
+class TestToffoliFlow:
+    def test_converges_small_rates(self):
+        seq = toffoli_flow(1e-4, 1e-3, 8)
+        p, t = seq[-1]
+        assert p < 1e-20 and t < 1e-20
+
+    def test_diverges_large_toffoli(self):
+        seq = toffoli_flow(1e-4, 0.2, 10)
+        _, t = seq[-1]
+        assert t > 0.1
+
+    def test_footnote_j_band(self):
+        # Footnote j: "a Toffoli gate error rate of order 1e-3 is
+        # acceptable, if the other error rates are sufficiently small."
+        tol = tolerated_toffoli_rate(1e-5)
+        assert tol > 1e-3
+
+    def test_toffoli_threshold_shrinks_with_clifford_noise(self):
+        assert tolerated_toffoli_rate(3e-3) < tolerated_toffoli_rate(1e-5)
+
+    def test_zero_clifford_never_converging(self):
+        # Even with perfect Cliffords, t0 above 1/pair_coeff fails.
+        pars = ToffoliFlowParams(pair_coeff=21.0, clifford_ratio=0.0)
+        tol = tolerated_toffoli_rate(0.0, pars)
+        # Finite iteration depth stops slightly short of the supremum 1/21.
+        assert tol == pytest.approx(1 / 21, rel=0.01)
+        assert tol < 1 / 21
+
+
+class TestFamilyScaling:
+    def test_eq30_literal(self):
+        assert block_error_probability(2, 1e-4, b=4) == pytest.approx((16 * 1e-4) ** 3)
+
+    def test_block_error_nonmonotone_in_t(self):
+        # For fixed ε the block error first falls then rises — the §5
+        # trade-off that motivates concatenation.
+        eps = 1e-5
+        errors = [block_error_probability(t, eps) for t in range(1, 30)]
+        best = min(range(len(errors)), key=errors.__getitem__)
+        assert 0 < best < len(errors) - 1
+
+    def test_optimal_t_tracks_minimum(self):
+        eps = 1e-5
+        t_star = optimal_t(eps)
+        errors = {t: block_error_probability(t, eps) for t in range(1, 40)}
+        best = min(errors, key=errors.get)
+        assert abs(best - t_star) <= max(2.0, 0.5 * t_star)
+
+    def test_minimum_block_error_improves_with_accuracy(self):
+        assert minimum_block_error(1e-6) < minimum_block_error(1e-4)
+
+    def test_required_accuracy_polylog(self):
+        # Eq. (32): ε ~ (log T)^-b; doubling log T costs 2^b in accuracy.
+        e1 = required_accuracy(1e6)
+        e2 = required_accuracy(1e12)
+        assert e2 / e1 == pytest.approx(2.0**-4, rel=0.05)
+
+    def test_block_size_eq37_exponent(self):
+        # Steane: exponent log2(7) ≈ 2.8.
+        size1 = block_size_required(1e-4, 1 / 21, 1e6)
+        size2 = block_size_required(1e-4, 1 / 21, 1e12)
+        ratio_log = math.log(size2 / size1)
+        base_log = math.log(
+            math.log(1e12 / 21 * 21) / math.log(1e6)
+        )
+        assert size2 > size1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_error_probability(0, 1e-4)
+        with pytest.raises(ValueError):
+            optimal_t(2.0)
+        with pytest.raises(ValueError):
+            required_accuracy(0.5)
+        with pytest.raises(ValueError):
+            block_size_required(0.1, 1 / 21, 1e6)

@@ -1,0 +1,85 @@
+"""Tests for the factoring resource planner (paper §6)."""
+
+import pytest
+
+from repro.core import FaultTolerancePlanner
+from repro.threshold import FACTORING_432_BIT, FactoringProblem, plan_factoring
+from repro.threshold.resources import block55_alternative, classical_factoring_months
+
+
+class TestFactoringProblem:
+    def test_paper_logical_qubits(self):
+        # §6: "about 5·432 = 2160 qubits".
+        assert FACTORING_432_BIT.logical_qubits == 2160
+
+    def test_paper_toffoli_count(self):
+        # §6: "about 38·(432)³ ≈ 3·10⁹ Toffoli gates".
+        assert FACTORING_432_BIT.toffoli_gates == pytest.approx(38 * 432**3)
+        assert 2.9e9 < FACTORING_432_BIT.toffoli_gates < 3.2e9
+
+    def test_target_error(self):
+        # "probability of error per Toffoli gate ... less than about 1e-9".
+        target = FACTORING_432_BIT.target_gate_error()
+        assert 1e-10 < target < 1e-9
+
+
+class TestPlan:
+    def test_plan_meets_target(self):
+        plan = plan_factoring(physical_error=1e-6)
+        assert plan.meets_target()
+        assert plan.block_size == 7**plan.levels
+
+    def test_effective_threshold_reproduces_paper_levels(self):
+        """The paper's §6 analysis (footnote n: carried out for the *Shor*
+        extraction method, with correspondingly tighter effective
+        threshold ~3e-5) against its storage budget of 1e-12 per gate
+        time gives three levels and block 343 — the §6 table."""
+        plan = plan_factoring(
+            physical_error=1e-6, threshold=3e-5, target_error=1e-12
+        )
+        assert plan.levels == 3
+        assert plan.block_size == 343
+
+    def test_paper_qubit_scale(self):
+        plan = plan_factoring(
+            physical_error=1e-6,
+            threshold=3e-5,
+            target_error=1e-12,
+            ancilla_overhead=1.35,
+        )
+        # "the total number of qubits required ... of order 1e6".
+        assert 5e5 < plan.total_qubits < 2e6
+
+    def test_out_of_range_error(self):
+        with pytest.raises(ValueError):
+            plan_factoring(physical_error=0.5)
+
+    def test_block55_comparison(self):
+        alt = block55_alternative()
+        assert alt["block_size"] == 55
+        assert alt["total_qubits"] == pytest.approx(4e5)
+        assert alt["gate_error"] == pytest.approx(1e-5)
+
+    def test_classical_scaling_reference(self):
+        # Anchored at "a few months" for 432 bits; grows with size.
+        assert classical_factoring_months(432) == pytest.approx(3.0)
+        assert classical_factoring_months(512) > 3.0
+
+
+class TestPlanner:
+    def test_summary_consistency(self):
+        planner = FaultTolerancePlanner()
+        summary = planner.summary(1e-3, 1e-9)
+        assert summary["achieved_error"] <= 1e-9
+        assert summary["block_size"] == 7 ** summary["levels"]
+
+    def test_block_size_for_computation(self):
+        planner = FaultTolerancePlanner()
+        small = planner.block_size_for_computation(1e-3, 1e6)
+        large = planner.block_size_for_computation(1e-3, 1e12)
+        assert large > small
+
+    def test_custom_threshold(self):
+        tight = FaultTolerancePlanner(threshold=1e-4)
+        loose = FaultTolerancePlanner(threshold=1 / 21)
+        assert tight.levels_for(5e-5, 1e-12) >= loose.levels_for(5e-5, 1e-12)

@@ -1,0 +1,139 @@
+"""Tests for anyonic gate compilation and the §7.1 error phenomenology."""
+
+import numpy as np
+import pytest
+
+from repro.topo import PullThroughCompiler, TopologicalErrorModel, toffoli_feasibility_report
+from repro.topo.gates import A5_COMPUTATIONAL_BASIS, A5_NOT_FLUX, not_gate_works
+from repro.topo.groups import PermutationGroup, parse_cycles
+
+
+class TestNotGate:
+    def test_fig21_not_gate(self):
+        assert not_gate_works()
+
+    def test_not_flux_is_in_a5(self):
+        a5 = PermutationGroup.alternating(5)
+        assert A5_NOT_FLUX in a5
+
+    def test_basis_fluxes_share_one_object(self):
+        # Eq. (45): "three-cycles with one object in common" — both move
+        # object 2 (1-indexed).
+        u0, u1 = A5_COMPUTATIONAL_BASIS
+        moved0 = {i for i in range(5) if u0[i] != i}
+        moved1 = {i for i in range(5) if u1[i] != i}
+        assert len(moved0 & moved1) == 1
+
+
+class TestCompiler:
+    def test_compiles_identity(self):
+        a5 = PermutationGroup.alternating(5)
+        u0, u1 = A5_COMPUTATIONAL_BASIS
+        compiler = PullThroughCompiler(a5, max_depth=2)
+        gate = compiler.compile([(u0,), (u1,)], [(u0,), (u1,)])
+        assert gate is not None and gate.depth == 0
+
+    def test_compiles_not_in_one_step(self):
+        a5 = PermutationGroup.alternating(5)
+        u0, u1 = A5_COMPUTATIONAL_BASIS
+        compiler = PullThroughCompiler(a5, max_depth=2)
+        gate = compiler.compile(
+            [(u0,), (u1,)],
+            [(u1,), (u0,)],
+            ancilla_fluxes=(A5_NOT_FLUX,),
+        )
+        assert gate is not None
+        assert gate.depth == 1
+        assert gate.steps[0] == (0, 1)
+        assert gate.catalytic
+
+    def test_discovers_not_flux_automatically(self):
+        """Search with a *wrong* ancilla finds nothing at depth 1."""
+        a5 = PermutationGroup.alternating(5)
+        u0, u1 = A5_COMPUTATIONAL_BASIS
+        compiler = PullThroughCompiler(a5, max_depth=1)
+        wrong = parse_cycles("(12345)", 5)
+        gate = compiler.compile([(u0,), (u1,)], [(u1,), (u0,)], ancilla_fluxes=(wrong,))
+        assert gate is None
+
+    def test_compiles_two_pair_swap_in_s3(self):
+        """A worked small-group example: conjugation swaps the two
+        3-cycles of S3 via a transposition ancilla."""
+        s3 = PermutationGroup.symmetric(3)
+        r = parse_cycles("(123)", 3)
+        r2 = parse_cycles("(132)", 3)
+        t = parse_cycles("(12)", 3)
+        compiler = PullThroughCompiler(s3, max_depth=2)
+        gate = compiler.compile([(r,), (r2,)], [(r2,), (r,)], ancilla_fluxes=(t,))
+        assert gate is not None and gate.depth == 1
+
+    def test_depth_limit_respected(self):
+        a5 = PermutationGroup.alternating(5)
+        u0, u1 = A5_COMPUTATIONAL_BASIS
+        compiler = PullThroughCompiler(a5, max_depth=0)
+        gate = compiler.compile(
+            [(u0,), (u1,)], [(u1,), (u0,)], ancilla_fluxes=(A5_NOT_FLUX,)
+        )
+        assert gate is None
+
+    def test_input_validation(self):
+        a5 = PermutationGroup.alternating(5)
+        compiler = PullThroughCompiler(a5)
+        with pytest.raises(ValueError):
+            compiler.compile([(A5_COMPUTATIONAL_BASIS[0],)], [])
+
+
+class TestFeasibilityReport:
+    def test_a5_unique_nonsolvable_below_order_60(self):
+        report = toffoli_feasibility_report()
+        nonsolvable = [k for k, v in report.items() if v["universality_candidate"]]
+        small = [k for k in nonsolvable if report[k]["order"] <= 60]
+        assert small == ["A5"]
+
+    def test_a5_perfect(self):
+        report = toffoli_feasibility_report()
+        assert report["A5"]["perfect"] is True
+        assert report["S5"]["perfect"] is False
+
+    def test_orders_recorded(self):
+        report = toffoli_feasibility_report()
+        assert report["S4"]["order"] == 24
+        assert report["Q8"]["order"] == 8
+
+
+class TestThermalModel:
+    def test_tunneling_decays_exponentially(self):
+        model = TopologicalErrorModel(mass=1.0)
+        r1 = model.tunneling_error_rate(5.0)
+        r2 = model.tunneling_error_rate(10.0)
+        # Amplitude e^{-mL} -> probability e^{-2mL}.
+        assert r2 / r1 == pytest.approx(np.exp(-10.0), rel=1e-6)
+
+    def test_thermal_boltzmann_factor(self):
+        model = TopologicalErrorModel(gap=2.0)
+        r1 = model.thermal_error_rate(0.5)
+        r2 = model.thermal_error_rate(1.0)
+        assert r1 / r2 == pytest.approx(np.exp(-4.0 + 2.0), rel=1e-6)
+
+    def test_zero_temperature_no_thermal_errors(self):
+        model = TopologicalErrorModel()
+        assert model.thermal_error_rate(0.0) == 0.0
+
+    def test_lifetime_grows_with_separation(self):
+        model = TopologicalErrorModel(mass=1.0, gap=1.0)
+        short = model.memory_lifetime(2.0, 0.0, trials=512, seed=0)
+        long = model.memory_lifetime(4.0, 0.0, trials=512, seed=0)
+        assert long > short * 10
+
+    def test_lifetime_falls_with_temperature(self):
+        model = TopologicalErrorModel()
+        cold = model.memory_lifetime(50.0, 0.2, trials=512, seed=1)
+        hot = model.memory_lifetime(50.0, 1.0, trials=512, seed=1)
+        assert cold > hot
+
+    def test_validation(self):
+        model = TopologicalErrorModel()
+        with pytest.raises(ValueError):
+            model.tunneling_error_rate(-1.0)
+        with pytest.raises(ValueError):
+            model.thermal_error_rate(-0.1)

@@ -1,0 +1,228 @@
+"""Tests for finite groups, fluxon registers, and interferometry (§7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topo import (
+    ChargeInterferometer,
+    FluxInterferometer,
+    FluxPairRegister,
+    PermutationGroup,
+)
+from repro.topo.groups import FiniteGroup, cycles, parse_cycles
+from repro.topo.interferometer import majority_confidence
+
+
+class TestGroupBasics:
+    def test_orders(self):
+        assert PermutationGroup.symmetric(3).order == 6
+        assert PermutationGroup.symmetric(4).order == 24
+        assert PermutationGroup.alternating(4).order == 12
+        assert PermutationGroup.alternating(5).order == 60
+        assert PermutationGroup.cyclic(7).order == 7
+        assert PermutationGroup.dihedral(4).order == 8
+        assert PermutationGroup.quaternion().order == 8
+
+    def test_parse_and_render_cycles(self):
+        p = parse_cycles("(125)", 5)
+        assert cycles(p) == "(125)"
+        q = parse_cycles("(14)(35)", 5)
+        assert cycles(q) == "(14)(35)"
+        assert parse_cycles("e", 4) == (0, 1, 2, 3)
+
+    def test_parse_validation(self):
+        with pytest.raises(ValueError):
+            parse_cycles("125", 5)
+        with pytest.raises(ValueError):
+            parse_cycles("(16)", 5)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30)
+    def test_group_axioms_random_elements(self, seed):
+        g = PermutationGroup.symmetric(4)
+        rng = np.random.default_rng(seed)
+        a, b, c = (g.elements[rng.integers(g.order)] for _ in range(3))
+        assert g.mul(g.mul(a, b), c) == g.mul(a, g.mul(b, c))
+        assert g.mul(a, g.inv(a)) == g.identity
+        assert g.mul(g.identity, a) == a
+
+    def test_conjugation_is_homomorphism(self):
+        g = PermutationGroup.alternating(5)
+        a = parse_cycles("(125)", 5)
+        b = parse_cycles("(234)", 5)
+        v = parse_cycles("(14)(35)", 5)
+        lhs = g.conjugate(g.mul(a, b), v)
+        rhs = g.mul(g.conjugate(a, v), g.conjugate(b, v))
+        assert lhs == rhs
+
+
+class TestSolvability:
+    def test_solvable_groups(self):
+        for g in (
+            PermutationGroup.symmetric(3),
+            PermutationGroup.symmetric(4),
+            PermutationGroup.alternating(4),
+            PermutationGroup.dihedral(5),
+            PermutationGroup.quaternion(),
+            PermutationGroup.cyclic(12),
+        ):
+            assert g.is_solvable(), g.name
+            assert not g.is_perfect(), g.name
+
+    def test_a5_nonsolvable_perfect(self):
+        a5 = PermutationGroup.alternating(5)
+        assert not a5.is_solvable()
+        assert a5.is_perfect()
+
+    def test_s5_nonsolvable_not_perfect(self):
+        s5 = PermutationGroup.symmetric(5)
+        assert not s5.is_solvable()
+        assert not s5.is_perfect()  # [S5, S5] = A5
+
+    def test_commutator_subgroup_of_s4(self):
+        s4 = PermutationGroup.symmetric(4)
+        assert s4.commutator_subgroup().order == 12  # A4
+
+    def test_conjugacy_classes_partition(self):
+        g = PermutationGroup.alternating(5)
+        classes = g.conjugacy_classes()
+        assert sum(len(c) for c in classes) == 60
+        sizes = sorted(len(c) for c in classes)
+        assert sizes == [1, 12, 12, 15, 20]  # the A5 class equation
+
+
+class TestFluxPairRegister:
+    @pytest.fixture(scope="class")
+    def a5(self):
+        return PermutationGroup.alternating(5)
+
+    @pytest.fixture(scope="class")
+    def basis(self, a5):
+        return parse_cycles("(125)", 5), parse_cycles("(234)", 5)
+
+    def test_pull_through_conjugates_inner(self, a5, basis):
+        u0, u1 = basis
+        v = parse_cycles("(14)(35)", 5)
+        reg = FluxPairRegister(a5, [u0, v])
+        reg.pull_through(0, 1)
+        assert reg.probability_of((u1, v)) == pytest.approx(1.0)
+
+    def test_outer_flux_unmodified(self, a5, basis):
+        u0, _ = basis
+        v = parse_cycles("(14)(35)", 5)
+        reg = FluxPairRegister(a5, [u0, v])
+        reg.pull_through(0, 1)
+        assert reg.measure_flux(1, rng=0) == v
+
+    def test_pull_through_linear_on_superpositions(self, a5, basis):
+        u0, u1 = basis
+        v = parse_cycles("(14)(35)", 5)
+        reg = FluxPairRegister.from_superposition(
+            a5, {(u0, v): 1 / np.sqrt(2), (u1, v): 1j / np.sqrt(2)}
+        )
+        reg.pull_through(0, 1)
+        # NOT on the superposition: amplitudes swap.
+        assert reg.probability_of((u1, v)) == pytest.approx(0.5)
+        assert reg.probability_of((u0, v)) == pytest.approx(0.5)
+
+    def test_exchange_eq40(self, a5):
+        # |u1>|u2> -> |u2>|u2⁻¹ u1 u2>.
+        u1 = parse_cycles("(123)", 5)
+        u2 = parse_cycles("(345)", 5)
+        reg = FluxPairRegister(a5, [u1, u2])
+        reg.exchange(0, 1)
+        expected = (u2, a5.conjugate(u1, u2))
+        assert reg.probability_of(expected) == pytest.approx(1.0)
+
+    def test_charge_zero_pair_uniform_over_class(self, a5, basis):
+        u0, _ = basis
+        reg = FluxPairRegister(a5, [])
+        reg.num_pairs = 0
+        reg.state = {(): 1.0 + 0j}
+        idx = reg.append_charge_zero_pair(u0)
+        cls = a5.conjugacy_class(u0)
+        assert len(cls) == 20  # the 3-cycles of A5
+        for u in cls:
+            assert reg.probability_of((u,)) == pytest.approx(1 / 20)
+        # Flux measurement calibrates the pair (§7.4's reservoir).
+        flux = reg.measure_flux(idx, rng=3)
+        assert flux in cls
+        assert reg.probability_of((flux,)) == pytest.approx(1.0)
+
+    def test_charge_measurement_projects_plus_minus(self, a5, basis):
+        u0, u1 = basis
+        v = parse_cycles("(14)(35)", 5)
+        plus = FluxPairRegister.from_superposition(
+            a5, {(u0,): 1 / np.sqrt(2), (u1,): 1 / np.sqrt(2)}
+        )
+        assert plus.measure_conjugation_parity(0, v, rng=0) == 0
+        minus = FluxPairRegister.from_superposition(
+            a5, {(u0,): 1 / np.sqrt(2), (u1,): -1 / np.sqrt(2)}
+        )
+        assert minus.measure_conjugation_parity(0, v, rng=0) == 1
+
+    def test_charge_measurement_on_flux_eigenstate_randomizes(self, a5, basis):
+        u0, u1 = basis
+        v = parse_cycles("(14)(35)", 5)
+        outcomes = set()
+        for seed in range(20):
+            reg = FluxPairRegister(a5, [u0])
+            outcomes.add(reg.measure_conjugation_parity(0, v, rng=seed))
+        assert outcomes == {0, 1}
+
+    def test_self_pull_through_rejected(self, a5, basis):
+        reg = FluxPairRegister(a5, [basis[0]])
+        with pytest.raises(ValueError):
+            reg.pull_through(0, 0)
+
+    def test_bad_flux_rejected(self, a5):
+        odd = parse_cycles("(12)", 5)  # odd permutation, not in A5
+        with pytest.raises(ValueError):
+            FluxPairRegister(a5, [odd])
+
+
+class TestInterferometers:
+    def test_majority_confidence_decays(self):
+        assert majority_confidence(0.2, 31) < majority_confidence(0.2, 5)
+        assert majority_confidence(0.2, 31) < 1e-3
+
+    def test_flux_interferometer_ideal(self):
+        a5 = PermutationGroup.alternating(5)
+        u0 = parse_cycles("(125)", 5)
+        u1 = parse_cycles("(234)", 5)
+        reg = FluxPairRegister(a5, [u0])
+        meter = FluxInterferometer(p_err=0.0, probes=1)
+        assert meter.measure(reg, 0, (u0, u1), rng=0) == u0
+
+    def test_flux_interferometer_noisy_majority(self):
+        a5 = PermutationGroup.alternating(5)
+        u0 = parse_cycles("(125)", 5)
+        u1 = parse_cycles("(234)", 5)
+        meter = FluxInterferometer(p_err=0.25, probes=51)
+        wrong = 0
+        for seed in range(40):
+            reg = FluxPairRegister(a5, [u0])
+            if meter.measure(reg, 0, (u0, u1), rng=seed) != u0:
+                wrong += 1
+        assert wrong <= 2  # majority over 51 probes at 25% noise
+
+    def test_charge_interferometer(self):
+        a5 = PermutationGroup.alternating(5)
+        u0 = parse_cycles("(125)", 5)
+        u1 = parse_cycles("(234)", 5)
+        v = parse_cycles("(14)(35)", 5)
+        reg = FluxPairRegister.from_superposition(
+            a5, {(u0,): 1 / np.sqrt(2), (u1,): 1 / np.sqrt(2)}
+        )
+        meter = ChargeInterferometer(p_err=0.0, probes=1)
+        assert meter.measure(reg, 0, v, rng=0) == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FluxInterferometer(p_err=0.6)
+        with pytest.raises(ValueError):
+            ChargeInterferometer(probes=0)
+        with pytest.raises(ValueError):
+            majority_confidence(0.2, 10)

@@ -1,0 +1,191 @@
+"""Tests for the toric code lattice model and MWPM decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topo import MWPMDecoder, ToricCode, toric_memory_experiment
+
+
+class TestLatticeModel:
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_commuting_hamiltonian(self, d):
+        assert ToricCode(d).check_commutation()
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_ground_space_dimension_four(self, d):
+        # The torus stores exactly two qubits (Fig. 17 model on T²).
+        assert ToricCode(d).ground_space_dimension() == 4
+
+    def test_qubit_count(self):
+        assert ToricCode(5).n == 50
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            ToricCode(1)
+
+    def test_logical_operators_commute_with_checks(self):
+        code = ToricCode(4)
+        from repro.gf2 import gf2_matmul
+
+        # Z-logicals vs X-checks and X-logicals vs Z-checks.
+        assert not gf2_matmul(code.logical_z, code.vertex_checks.T).any()
+        assert not gf2_matmul(code.logical_x, code.plaquette_checks.T).any()
+
+    def test_logical_pairs_anticommute(self):
+        code = ToricCode(4)
+        from repro.gf2 import gf2_matmul
+
+        overlap = gf2_matmul(code.logical_x, code.logical_z.T)
+        assert np.array_equal(overlap, np.eye(2, dtype=np.uint8))
+
+
+class TestQuasiparticles:
+    def test_z_string_creates_vertex_defect_pair(self):
+        code = ToricCode(4)
+        defects = code.z_string_endpoints([code.h_edge(1, 1), code.h_edge(1, 2)])
+        assert defects.sum() == 2
+
+    def test_x_string_creates_plaquette_defect_pair(self):
+        code = ToricCode(4)
+        defects = code.x_string_endpoints([code.v_edge(2, 2)])
+        assert defects.sum() == 2
+
+    def test_closed_loop_creates_nothing(self):
+        code = ToricCode(4)
+        loop = [code.h_edge(0, c) for c in range(4)]
+        assert code.z_string_endpoints(loop).sum() == 0
+
+    def test_braiding_phase_minus_one(self):
+        # Fig. 16: charge around an enclosed fluxon picks up −1.
+        code = ToricCode(5)
+        z_string = np.zeros(code.n, dtype=np.uint8)
+        z_string[code.h_edge(2, 2)] = 1  # fluxon pair at plaquettes (1,2),(2,2)?
+        loop = code.charge_loop_operator(2, 2)
+        phase_in = code.braiding_phase(loop, z_string)
+        loop_out = code.charge_loop_operator(0, 0)
+        phase_out = code.braiding_phase(loop_out, z_string)
+        assert {phase_in, phase_out} == {-1, 1}
+
+    def test_braiding_topological_invariance(self):
+        """Deforming the loop without crossing the fluxon keeps the phase
+        (the Fig. 16 caption's statement)."""
+        code = ToricCode(5)
+        # An X on v(1,2) creates m-fluxons at plaquettes (1,1) and (1,2).
+        x_string = np.zeros(code.n, dtype=np.uint8)
+        x_string[code.v_edge(1, 2)] = 1
+        defects = code.x_string_endpoints([code.v_edge(1, 2)])
+        assert defects.sum() == 2
+        # A small Z-loop around plaquette (1,1) and a deformed loop
+        # covering plaquettes {(1,1),(0,1),(1,0),(0,0)} both enclose the
+        # fluxon at (1,1) and neither encloses (1,2).
+        small = code.charge_loop_operator(1, 1)
+        big = (
+            code.charge_loop_operator(1, 1)
+            ^ code.charge_loop_operator(0, 1)
+            ^ code.charge_loop_operator(1, 0)
+            ^ code.charge_loop_operator(0, 0)
+        )
+        assert code.braiding_phase(small, x_string) == -1
+        assert code.braiding_phase(big, x_string) == -1
+        # A loop elsewhere encloses no fluxon: trivial phase.
+        far = code.charge_loop_operator(3, 3)
+        assert code.braiding_phase(far, x_string) == 1
+
+
+class TestDecoder:
+    def test_no_defects_no_correction(self):
+        code = ToricCode(3)
+        decoder = MWPMDecoder(code)
+        assert not decoder.decode(np.zeros(9, dtype=np.uint8)).any()
+
+    def test_single_error_corrected_exactly(self):
+        code = ToricCode(5)
+        decoder = MWPMDecoder(code)
+        for edge in [code.h_edge(2, 3), code.v_edge(1, 4), code.h_edge(0, 0)]:
+            err = np.zeros(code.n, dtype=np.uint8)
+            err[edge] = 1
+            corr = decoder.decode(code.plaquette_syndrome(err)[0])
+            residual = err ^ corr
+            assert not code.plaquette_syndrome(residual).any()
+            assert not code.logical_x_action(residual).any()
+
+    def test_correction_closes_all_syndromes(self):
+        code = ToricCode(5)
+        decoder = MWPMDecoder(code)
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            err = (rng.random(code.n) < 0.08).astype(np.uint8)
+            corr = decoder.decode(code.plaquette_syndrome(err)[0])
+            residual = err ^ corr
+            assert not code.plaquette_syndrome(residual).any()
+
+    def test_odd_defects_rejected(self):
+        code = ToricCode(3)
+        decoder = MWPMDecoder(code)
+        bad = np.zeros(9, dtype=np.uint8)
+        bad[0] = 1
+        with pytest.raises(ValueError):
+            decoder.match_defects(bad)
+
+    def test_toric_distance_wraps(self):
+        code = ToricCode(5)
+        decoder = MWPMDecoder(code)
+        # Plaquettes (0,0) and (0,4): distance 1 through the wrap.
+        assert decoder._distance(0, 4) == 1
+        assert decoder._distance(0, 2) == 2
+
+    def test_vertex_sector_single_errors(self):
+        """The dual decoder: single Z errors on any edge are corrected
+        without logical damage."""
+        code = ToricCode(5)
+        decoder = MWPMDecoder(code)
+        for edge in [code.h_edge(1, 2), code.v_edge(3, 0), code.h_edge(4, 4)]:
+            err = np.zeros(code.n, dtype=np.uint8)
+            err[edge] = 1
+            corr = decoder.decode_vertex(code.vertex_syndrome(err)[0])
+            residual = err ^ corr
+            assert not code.vertex_syndrome(residual).any()
+            assert not code.logical_z_action(residual).any()
+
+    def test_vertex_sector_random_errors_close_syndrome(self):
+        code = ToricCode(5)
+        decoder = MWPMDecoder(code)
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            err = (rng.random(code.n) < 0.08).astype(np.uint8)
+            corr = decoder.decode_vertex(code.vertex_syndrome(err)[0])
+            residual = err ^ corr
+            assert not code.vertex_syndrome(residual).any()
+
+    def test_both_sectors_independent(self):
+        """Simultaneous X and Z errors decode independently (the CSS
+        property at lattice scale)."""
+        code = ToricCode(4)
+        decoder = MWPMDecoder(code)
+        rng = np.random.default_rng(5)
+        x_err = (rng.random(code.n) < 0.06).astype(np.uint8)
+        z_err = (rng.random(code.n) < 0.06).astype(np.uint8)
+        x_corr = decoder.decode(code.plaquette_syndrome(x_err)[0])
+        z_corr = decoder.decode_vertex(code.vertex_syndrome(z_err)[0])
+        assert not code.plaquette_syndrome(x_err ^ x_corr).any()
+        assert not code.vertex_syndrome(z_err ^ z_corr).any()
+
+
+class TestMemoryExperiment:
+    def test_low_noise_rarely_fails(self):
+        res = toric_memory_experiment(5, 0.01, shots=400, seed=0)
+        assert res.failure_rate < 0.02
+
+    def test_below_threshold_bigger_is_better(self):
+        p = 0.05
+        small = toric_memory_experiment(3, p, shots=800, seed=1)
+        large = toric_memory_experiment(7, p, shots=800, seed=2)
+        assert large.failure_rate < small.failure_rate
+
+    def test_above_threshold_bigger_is_worse(self):
+        p = 0.25
+        small = toric_memory_experiment(3, p, shots=400, seed=3)
+        large = toric_memory_experiment(5, p, shots=400, seed=4)
+        assert large.failure_rate >= small.failure_rate * 0.8
