@@ -1,0 +1,29 @@
+"""P01 — compiled bit-packed frame engine vs legacy interpreter.
+
+The repo's first perf benchmark (see PERF.md): times both engines on the
+same E01-style Steane memory experiment and asserts the speedup floor plus
+statistical agreement of the two failure estimates.  CI-sized here; the
+recorded trajectory datapoint in ``BENCH_pauliframe.json`` comes from the
+full-size ``scripts/bench_perf.py`` run.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+from bench_perf import run_benchmark  # noqa: E402
+
+from repro.util.stats import wilson_interval  # noqa: E402
+
+
+def test_p01_frame_engine_speedup(run_once):
+    record = run_once(run_benchmark, shots=4_000, rounds=5, eps=1e-3, seed=7)
+    # Overhead eats into the win at CI sizes; the full-size run clears 10x
+    # with margin, so anything under 3x here means the packed path broke.
+    assert record["speedup"] > 3.0
+    # Both engines estimate the same physics: overlapping Wilson intervals.
+    shots = record["config"]["shots"]
+    lo1, hi1 = wilson_interval(record["legacy"]["failures"], shots)
+    lo2, hi2 = wilson_interval(record["compiled"]["failures"], shots)
+    assert max(lo1, lo2) <= min(hi1, hi2)

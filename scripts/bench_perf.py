@@ -1,0 +1,152 @@
+"""Perf-trajectory harness: compiled bit-packed frame engine vs legacy.
+
+Runs an E01-style encoded-memory experiment (Steane code, circuit-level
+noise, repeated EC rounds) on both engines, records wall time and
+throughput, and writes the repo's first perf datapoint to
+``BENCH_pauliframe.json``.  See PERF.md for the protocol and schema.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py            # full (10k shots)
+    PYTHONPATH=src python scripts/bench_perf.py --quick    # CI-sized
+    PYTHONPATH=src python scripts/bench_perf.py --check    # guard only
+
+The JSON is refused (exit 2) when the new compiled throughput regresses
+more than ``REGRESSION_TOLERANCE`` against the recorded baseline, so the
+file can only ratchet forward (or be updated deliberately with --force).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.codes import SteaneCode  # noqa: E402
+from repro.ft import SteaneECProtocol  # noqa: E402
+from repro.noise import circuit_level  # noqa: E402
+from repro.threshold import memory_experiment  # noqa: E402
+
+BENCH_PATH = REPO_ROOT / "BENCH_pauliframe.json"
+SCHEMA_VERSION = 1
+REGRESSION_TOLERANCE = 0.20  # refuse overwrite when >20% slower
+
+
+def _time_engine(engine: str, shots: int, rounds: int, eps: float, seed: int) -> dict:
+    code = SteaneCode()
+    protocol = SteaneECProtocol(circuit_level(eps), engine=engine)
+    # Warm-up run compiles programs and allocates packed buffers so the
+    # measured pass times steady-state throughput.
+    memory_experiment(protocol, code, rounds=1, shots=min(shots, 256), seed=seed)
+    t0 = time.perf_counter()
+    result = memory_experiment(protocol, code, rounds=rounds, shots=shots, seed=seed)
+    elapsed = time.perf_counter() - t0
+    shot_rounds = shots * rounds
+    return {
+        "engine": engine,
+        "seconds": round(elapsed, 4),
+        "shots_per_sec": round(shots / elapsed, 1),
+        "shot_rounds_per_sec": round(shot_rounds / elapsed, 1),
+        "failure_rate": result.failure_rate,
+        "failures": result.failures,
+    }
+
+
+def run_benchmark(shots: int = 10_000, rounds: int = 10, eps: float = 1e-3, seed: int = 2026) -> dict:
+    """Measure both engines on the same experiment; returns the record."""
+    legacy = _time_engine("legacy", shots, rounds, eps, seed)
+    compiled = _time_engine("compiled", shots, rounds, eps, seed)
+    return {
+        "bench": "p01_frame_engine",
+        "schema_version": SCHEMA_VERSION,
+        "recorded_unix": int(time.time()),
+        "config": {
+            "experiment": "E01-style Steane encoded memory",
+            "code": "steane_7_1_3",
+            "noise": f"circuit_level({eps})",
+            "shots": shots,
+            "rounds": rounds,
+            "seed": seed,
+        },
+        "legacy": legacy,
+        "compiled": compiled,
+        "speedup": round(legacy["seconds"] / compiled["seconds"], 2),
+    }
+
+
+def check_regression(new: dict, old: dict) -> str | None:
+    """Error string when ``new`` regresses >tolerance against ``old``."""
+    old_rate = old.get("compiled", {}).get("shot_rounds_per_sec")
+    new_rate = new.get("compiled", {}).get("shot_rounds_per_sec")
+    if not old_rate or not new_rate:
+        return None
+    if new_rate < (1.0 - REGRESSION_TOLERANCE) * old_rate:
+        return (
+            f"compiled throughput regressed {100 * (1 - new_rate / old_rate):.1f}% "
+            f"({new_rate:.0f} vs baseline {old_rate:.0f} shot-rounds/sec); "
+            f"refusing to overwrite {BENCH_PATH.name} (use --force to accept)"
+        )
+    return None
+
+
+def write_guarded(record: dict, path: Path = BENCH_PATH, force: bool = False) -> int:
+    """Write the record unless it regresses against the stored baseline."""
+    if path.exists() and not force:
+        old = json.loads(path.read_text())
+        err = check_regression(record, old)
+        if err:
+            print(f"REGRESSION: {err}", file=sys.stderr)
+            return 2
+    path.write_text(json.dumps(record, indent=1) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shots", type=int, default=10_000)
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--eps", type=float, default=1e-3)
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--quick", action="store_true", help="CI-sized run (2k shots, 3 rounds)")
+    parser.add_argument("--force", action="store_true", help="overwrite even on regression")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="measure and compare against the stored baseline without writing",
+    )
+    parser.add_argument("--out", type=Path, default=BENCH_PATH)
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.shots, args.rounds = 2_000, 3
+    if args.shots < 1 or args.rounds < 1:
+        parser.error("--shots and --rounds must be positive")
+
+    record = run_benchmark(args.shots, args.rounds, args.eps, args.seed)
+    print(
+        f"legacy:   {record['legacy']['seconds']:8.3f}s "
+        f"({record['legacy']['shot_rounds_per_sec']:>12,.0f} shot-rounds/sec)"
+    )
+    print(
+        f"compiled: {record['compiled']['seconds']:8.3f}s "
+        f"({record['compiled']['shot_rounds_per_sec']:>12,.0f} shot-rounds/sec)"
+    )
+    print(f"speedup:  {record['speedup']:.1f}x")
+
+    if args.check:
+        if args.out.exists():
+            err = check_regression(record, json.loads(args.out.read_text()))
+            if err:
+                print(f"REGRESSION: {err}", file=sys.stderr)
+                return 2
+            print("no regression against stored baseline")
+        return 0
+    return write_guarded(record, args.out, force=args.force)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,13 +1,67 @@
-"""Run every experiment at full statistics and dump JSON for EXPERIMENTS.md."""
-import json, time
-from repro.experiments import ALL_EXPERIMENTS
+"""Run every experiment at full statistics and dump JSON for EXPERIMENTS.md.
 
-results = {}
-for name, runner in ALL_EXPERIMENTS.items():
-    t0 = time.time()
-    results[name] = runner(quick=False)
-    results[name]["_runtime_seconds"] = round(time.time() - t0, 1)
-    print(f"{name} done in {results[name]['_runtime_seconds']}s", flush=True)
-with open("/root/repo/full_results.json", "w") as fh:
-    json.dump(results, fh, indent=1, default=str)
-print("ALL DONE")
+Exit status is meaningful for CI: non-zero when any experiment raises, and
+``--bench`` runs the perf harness (``scripts/bench_perf.py``), refusing to
+overwrite ``BENCH_*.json`` on a >20% throughput regression.
+"""
+
+import argparse
+import json
+import sys
+import time
+import traceback
+from pathlib import Path
+
+
+def run_experiments(output_path: str) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    results = {}
+    failed = []
+    for name, runner in ALL_EXPERIMENTS.items():
+        t0 = time.time()
+        try:
+            results[name] = runner(quick=False)
+        except Exception:
+            failed.append(name)
+            results[name] = {"_error": traceback.format_exc()}
+            print(f"{name} FAILED", flush=True)
+            continue
+        results[name]["_runtime_seconds"] = round(time.time() - t0, 1)
+        print(f"{name} done in {results[name]['_runtime_seconds']}s", flush=True)
+    with open(output_path, "w") as fh:
+        json.dump(results, fh, indent=1, default=str)
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("ALL DONE")
+    return 0
+
+
+def run_bench(quick: bool) -> int:
+    sys.path.insert(0, str(Path(__file__).resolve().parent / "scripts"))
+    from bench_perf import main as bench_main
+
+    return bench_main(["--quick"] if quick else [])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench", action="store_true",
+        help="run the perf harness instead of the experiments (guarded "
+        "BENCH_*.json update: a >20%% regression refuses to overwrite)",
+    )
+    parser.add_argument("--quick", action="store_true", help="CI-sized bench run")
+    parser.add_argument(
+        "--out", default="/root/repo/full_results.json",
+        help="experiments output JSON (the bench always writes BENCH_*.json)",
+    )
+    args = parser.parse_args()
+    if args.bench:
+        return run_bench(args.quick)
+    return run_experiments(args.out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,17 @@ Syndrome policy (§3.4), vectorized over shots:
   protocol whose order-ε failure E04 demonstrates).
 * ``"majority"`` — act on the bitwise majority over all repetitions
   (requires an odd repetition count).
+
+Execution backends
+------------------
+``engine="compiled"`` (default) runs every circuit through
+:class:`repro.pauliframe.compiled.CompiledFrameProgram` over bit-packed
+frames, reuses pre-allocated packed buffers across rounds (see
+:meth:`SteaneECProtocol.run_round_packed`), and batches all ancilla-factory
+layouts of a round into a *single* factory execution instead of one
+simulator run per layout.  ``engine="legacy"`` keeps the original
+per-operation interpreter and per-layout factory runs; the parity suite
+checks the two agree.
 """
 
 from __future__ import annotations
@@ -28,7 +39,15 @@ from repro.codes.stabilizer_code import StabilizerCode
 from repro.ft.shor_ec import ShorSyndromeExtraction
 from repro.ft.steane_ec import SteaneAncillaPrep, SteaneSyndromeExtraction
 from repro.noise.models import NoiseModel
+from repro.pauliframe.compiled import CompiledFrameProgram
 from repro.pauliframe.engine import FrameSimulator
+from repro.pauliframe.packing import (
+    pack_rows,
+    pack_shot_major,
+    unpack_rows,
+    unpack_shot_major,
+    words_for,
+)
 from repro.util.rng import as_rng
 
 __all__ = ["SteaneECProtocol", "ShorECProtocol", "resolve_syndrome_policy"]
@@ -62,6 +81,40 @@ def resolve_syndrome_policy(syndromes: np.ndarray, policy: str) -> tuple[np.ndar
     return accepted, act
 
 
+def _check_engine(engine: str) -> None:
+    if engine not in ("compiled", "legacy"):
+        raise ValueError(f"unknown engine {engine!r}")
+
+
+def _run_round_via_packed(
+    protocol,
+    shots: int,
+    rng: np.random.Generator,
+    data_fx: np.ndarray | None,
+    data_fz: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Adapt a protocol's packed round to the unpacked run_round contract.
+
+    Initial frames broadcast to ``(shots, n)`` before packing, matching the
+    legacy path's in-place XOR semantics (packing a (1, n) or (n,) frame
+    directly would hit only shot 0 of each 64-shot word).
+    """
+    n = protocol.data_qubits
+    nwords = words_for(shots)
+    dfx = np.zeros((n, nwords), dtype=np.uint64)
+    dfz = np.zeros((n, nwords), dtype=np.uint64)
+    if data_fx is not None:
+        dfx ^= pack_shot_major(
+            np.broadcast_to(np.asarray(data_fx, dtype=np.uint8), (shots, n))
+        )
+    if data_fz is not None:
+        dfz ^= pack_shot_major(
+            np.broadcast_to(np.asarray(data_fz, dtype=np.uint8), (shots, n))
+        )
+    protocol.run_round_packed(shots, rng, dfx, dfz)
+    return unpack_shot_major(dfx, shots), unpack_shot_major(dfz, shots)
+
+
 class SteaneECProtocol:
     """One Steane-method EC round, vectorized over shots.
 
@@ -72,6 +125,7 @@ class SteaneECProtocol:
     repetitions: syndrome measurements per type per round (Fig. 9 uses 2).
     policy: see module docstring.
     verify_ancilla: run the §3.3 two-block verification in the factory.
+    engine: ``"compiled"`` (packed, default) or ``"legacy"``.
     """
 
     def __init__(
@@ -81,14 +135,32 @@ class SteaneECProtocol:
         policy: str = "paper",
         verify_ancilla: bool = True,
         code: SteaneCode | None = None,
+        engine: str = "compiled",
     ) -> None:
+        _check_engine(engine)
         self.code = code or SteaneCode()
         self.noise = noise
         self.policy = policy
+        self.engine = engine
         self.extraction = SteaneSyndromeExtraction(self.code, repetitions)
         self.prep = SteaneAncillaPrep(self.code, verify=verify_ancilla)
-        self._factory_sim = FrameSimulator(self.prep.circuit(), noise)
-        self._extract_sim = FrameSimulator(self.extraction.extraction_circuit(), noise)
+        if engine == "compiled":
+            self._factory_prog = CompiledFrameProgram(self.prep.circuit(), noise)
+            self._extract_prog = CompiledFrameProgram(
+                self.extraction.extraction_circuit(), noise
+            )
+            self._factory_sim = self._factory_prog
+            self._extract_sim = self._extract_prog
+            self._buffers: dict[int, tuple] = {}
+        else:
+            self._factory_sim = FrameSimulator(self.prep.circuit(), noise, backend="legacy")
+            self._extract_sim = FrameSimulator(
+                self.extraction.extraction_circuit(), noise, backend="legacy"
+            )
+
+    @property
+    def data_qubits(self) -> int:
+        return self.code.n
 
     # ------------------------------------------------------------------
     def sample_ancilla_blocks(
@@ -99,6 +171,106 @@ class SteaneECProtocol:
         flip = self.prep.parse(res.meas_flips) if self.prep.verify else np.zeros(shots, np.uint8)
         fx = self.prep.apply_fixups(res.fx[:, :7], flip)
         return fx, res.fz[:, :7].copy()
+
+    def _round_buffers(self, shots: int) -> tuple:
+        """Pre-allocated packed buffers, reused across rounds at one size.
+
+        The factory batch pads each layout's shot block to a whole number
+        of 64-bit words so layout slices are word ranges — the batched
+        factory output feeds the extraction buffer without ever unpacking.
+        """
+        buf = self._buffers.get(shots)
+        if buf is None:
+            ext = self._extract_prog.new_buffers(shots)
+            padded = words_for(shots) * 64
+            fac = self._factory_prog.new_buffers(padded * len(self.extraction.layouts))
+            buf = ext + fac
+            self._buffers[shots] = buf
+        return buf
+
+    def _corrections_packed(self, syn: np.ndarray) -> np.ndarray | None:
+        """Packed twin of :meth:`_corrections` for the Hamming decode.
+
+        ``syn`` is ``(repetitions, 3, words)`` uint64 syndrome planes.
+        Returns ``(7, words)`` packed correction planes, or ``None`` when
+        the policy needs the generic unpacked path.  A qubit's correction
+        plane is ``act & (syndrome == binary(q+1))``, evaluated bitwise.
+        Bit lanes beyond the live shot range may carry junk (the padded
+        factory batch simulates real noise there); every consumer discards
+        them by unpacking with ``count=shots``.
+        """
+        first = syn[0]
+        nontrivial = first[0] | first[1] | first[2]
+        if self.policy == "paper":
+            if syn.shape[0] < 2:
+                raise ValueError("the paper policy needs >= 2 repetitions")
+            second = syn[1]
+            agree = ~((first[0] ^ second[0]) | (first[1] ^ second[1]) | (first[2] ^ second[2]))
+            act = agree & nontrivial
+        elif self.policy == "first":
+            act = nontrivial
+        else:
+            return None
+        corr = np.zeros((7, syn.shape[2]), dtype=np.uint64)
+        for q in range(7):
+            position = q + 1  # Eq. (3): syndrome read as binary, 1-indexed
+            mask = act
+            for j in range(3):
+                want = (position >> (2 - j)) & 1
+                mask = mask & (first[j] if want else ~first[j])
+            corr[q] = mask
+        return corr
+
+    def run_round_packed(
+        self,
+        shots: int,
+        rng: int | np.random.Generator | None,
+        data_fx: np.ndarray,
+        data_fz: np.ndarray,
+    ) -> None:
+        """One EC round over packed ``(7, words)`` data frames, in place.
+
+        The whole round stays in the packed domain: one word-aligned
+        batched factory run produces every ancilla layout, verification
+        decode and the syndrome policy are evaluated as plane algebra
+        (:meth:`SteaneAncillaPrep.parse_packed`,
+        :meth:`_corrections_packed`), and every buffer is allocated once
+        per shot count and reused across rounds.  Only the ``"majority"``
+        policy drops to the unpacked decode.
+        """
+        if self.engine != "compiled":
+            raise ValueError("run_round_packed requires engine='compiled'")
+        rng = as_rng(rng)
+        ext_fx, ext_fz, ext_flips, fac_fx, fac_fz, fac_flips = self._round_buffers(shots)
+        layouts = self.extraction.layouts
+        nwords = words_for(shots)
+        padded_total = nwords * 64 * len(layouts)
+        fac_fx[:] = 0
+        fac_fz[:] = 0
+        self._factory_prog.run_packed(padded_total, rng, fac_fx, fac_fz, fac_flips)
+        afx = fac_fx[:7]
+        afz = fac_fz[:7]
+        if self.prep.verify:
+            afx = afx ^ self.prep.parse_packed(fac_flips)[None, :]
+        ext_fx[:] = 0
+        ext_fz[:] = 0
+        ext_fx[:7] = data_fx
+        ext_fz[:7] = data_fz
+        for k, layout in enumerate(layouts):
+            cols = slice(k * nwords, (k + 1) * nwords)
+            anc = list(layout.anc_qubits)
+            ext_fx[anc] = afx[:, cols]
+            ext_fz[anc] = afz[:, cols]
+        self._extract_prog.run_packed(shots, rng, ext_fx, ext_fz, ext_flips)
+        x_syn_p, z_syn_p = self.extraction.parse_syndromes_packed(ext_flips)
+        corr_x = self._corrections_packed(x_syn_p)
+        if corr_x is not None:
+            data_fx[:] = ext_fx[:7] ^ corr_x
+            data_fz[:] = ext_fz[:7] ^ self._corrections_packed(z_syn_p)
+            return
+        x_syn, z_syn = self.extraction.parse_syndromes(unpack_shot_major(ext_flips, shots))
+        data_fx[:] = ext_fx[:7] ^ pack_shot_major(self._corrections(x_syn))
+        data_fz[:] = ext_fz[:7] ^ pack_shot_major(self._corrections(z_syn))
 
     def run_round(
         self,
@@ -113,6 +285,8 @@ class SteaneECProtocol:
         logical damage is judged by the caller (ideal decode).
         """
         rng = as_rng(seed)
+        if self.engine == "compiled":
+            return _run_round_via_packed(self, shots, rng, data_fx, data_fz)
         total = self.extraction.total_qubits
         init_fx = np.zeros((shots, total), dtype=np.uint8)
         init_fz = np.zeros((shots, total), dtype=np.uint8)
@@ -144,7 +318,9 @@ class ShorECProtocol:
 
     Cat-state ancillas come from per-width factories with verification and
     resample-on-reject (off-line retry, §6's parallelism assumption); the
-    extraction circuit measures every generator ``repetitions`` times.
+    extraction circuit measures every generator ``repetitions`` times.  In
+    the compiled engine all blocks of one width are drawn from a single
+    batched factory run per round.
     """
 
     def __init__(
@@ -154,17 +330,44 @@ class ShorECProtocol:
         repetitions: int = 2,
         policy: str = "paper",
         verify_ancilla: bool = True,
+        engine: str = "compiled",
     ) -> None:
+        _check_engine(engine)
         self.code = code
         self.noise = noise
         self.policy = policy
+        self.engine = engine
         self.extraction = ShorSyndromeExtraction(code, repetitions, verify_ancilla)
-        self._extract_sim = FrameSimulator(self.extraction.extraction_circuit(), noise)
-        self._factories = {
-            w: FrameSimulator(self.extraction.ancilla_factory(w)[0], noise)
+        self.verify_ancilla = verify_ancilla
+        # Blocks of equal width share one factory; batched sampling fills
+        # them in circuit order from consecutive shot slices.
+        self._width_blocks = {
+            w: [b for b in self.extraction.blocks if len(b.qubits) == w]
             for w in self.extraction.factory_widths()
         }
-        self.verify_ancilla = verify_ancilla
+        if engine == "compiled":
+            self._extract_prog = CompiledFrameProgram(
+                self.extraction.extraction_circuit(), noise
+            )
+            self._factory_progs = {
+                w: CompiledFrameProgram(self.extraction.ancilla_factory(w)[0], noise)
+                for w in self.extraction.factory_widths()
+            }
+            self._extract_sim = self._extract_prog
+            self._factories = self._factory_progs
+            self._buffers: dict[tuple, tuple] = {}
+        else:
+            self._extract_sim = FrameSimulator(
+                self.extraction.extraction_circuit(), noise, backend="legacy"
+            )
+            self._factories = {
+                w: FrameSimulator(self.extraction.ancilla_factory(w)[0], noise, backend="legacy")
+                for w in self.extraction.factory_widths()
+            }
+
+    @property
+    def data_qubits(self) -> int:
+        return self.code.n
 
     # ------------------------------------------------------------------
     def sample_cat_frames(
@@ -189,6 +392,85 @@ class ShorECProtocol:
                 fz[bad_idx] = fz[replacement]
         return fx, fz
 
+    def _cat_batch_packed(
+        self, width: int, shots: int, blocks: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(width, shots * blocks)`` unpacked rows of accepted cats.
+
+        One factory run covers every block of this width; rejected cats are
+        resampled from accepted ones *of the same block slice*, matching
+        the legacy per-block batches — a replacement drawn across blocks
+        could hand two syndrome blocks of one shot identical correlated
+        errors.
+        """
+        total = shots * blocks
+        prog = self._factory_progs[width]
+        key = (width, total)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = prog.new_buffers(total)
+            self._buffers[key] = buf
+        fx, fz, flips = buf
+        fx[:] = 0
+        fz[:] = 0
+        prog.run_packed(total, rng, fx, fz, flips)
+        cfx = unpack_rows(fx[:width], total)
+        cfz = unpack_rows(fz[:width], total)
+        if self.verify_ancilla:
+            rejected = unpack_rows(flips[:1], total)[0].astype(bool)
+            for k in range(blocks):
+                cols = slice(k * shots, (k + 1) * shots)
+                block_rejected = rejected[cols]
+                accepted_idx = np.nonzero(~block_rejected)[0]
+                if accepted_idx.size == 0:
+                    raise RuntimeError(
+                        "every cat preparation failed verification; noise too high"
+                    )
+                bad_idx = np.nonzero(block_rejected)[0]
+                if bad_idx.size:
+                    replacement = rng.choice(accepted_idx, size=bad_idx.size)
+                    cfx[:, cols][:, bad_idx] = cfx[:, cols][:, replacement]
+                    cfz[:, cols][:, bad_idx] = cfz[:, cols][:, replacement]
+        return cfx, cfz
+
+    def _round_buffers(self, shots: int) -> tuple:
+        key = ("ext", shots)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = self._extract_prog.new_buffers(shots)
+            self._buffers[key] = buf
+        return buf
+
+    def run_round_packed(
+        self,
+        shots: int,
+        rng: int | np.random.Generator | None,
+        data_fx: np.ndarray,
+        data_fz: np.ndarray,
+    ) -> None:
+        """One EC round over packed ``(n, words)`` data frames, in place."""
+        if self.engine != "compiled":
+            raise ValueError("run_round_packed requires engine='compiled'")
+        rng = as_rng(rng)
+        ext_fx, ext_fz, ext_flips = self._round_buffers(shots)
+        n = self.code.n
+        ext_fx[:] = 0
+        ext_fz[:] = 0
+        ext_fx[:n] = data_fx
+        ext_fz[:n] = data_fz
+        for width, blocks in self._width_blocks.items():
+            cfx, cfz = self._cat_batch_packed(width, shots, len(blocks), rng)
+            for k, block in enumerate(blocks):
+                cols = slice(k * shots, (k + 1) * shots)
+                wires = list(block.qubits)
+                ext_fx[wires] = pack_rows(cfx[:, cols])
+                ext_fz[wires] = pack_rows(cfz[:, cols])
+        self._extract_prog.run_packed(shots, rng, ext_fx, ext_fz, ext_flips)
+        syn = self.extraction.parse_syndromes(unpack_shot_major(ext_flips, shots))
+        corr_x, corr_z = self._corrections(syn)
+        data_fx[:] = ext_fx[:n] ^ pack_shot_major(corr_x)
+        data_fz[:] = ext_fz[:n] ^ pack_shot_major(corr_z)
+
     def run_round(
         self,
         shots: int,
@@ -198,6 +480,8 @@ class ShorECProtocol:
     ) -> tuple[np.ndarray, np.ndarray]:
         rng = as_rng(seed)
         n = self.code.n
+        if self.engine == "compiled":
+            return _run_round_via_packed(self, shots, rng, data_fx, data_fz)
         total = self.extraction.total_qubits
         init_fx = np.zeros((shots, total), dtype=np.uint8)
         init_fz = np.zeros((shots, total), dtype=np.uint8)

@@ -91,6 +91,28 @@ class SteaneAncillaPrep:
         out[flip.astype(bool), :] ^= 1
         return out
 
+    def parse_packed(self, flips: np.ndarray) -> np.ndarray:
+        """:meth:`parse` over bit-packed measurement planes.
+
+        ``flips`` is ``(14, words)`` uint64 (shots along the bit axis);
+        returns a ``(words,)`` packed X̄-fixup mask.  The classical Hamming
+        decode is pure parity algebra — each syndrome bit is the XOR of a
+        check's measurement rows, and correcting the located single flip
+        restores codeword parity, so the decoded logical bit is
+        ``raw_parity ^ (syndrome != 0)`` — all computable as plane-wise
+        XOR/OR without unpacking a single shot.
+        """
+        h = self.code.hz.astype(bool)
+
+        def decode(block: np.ndarray) -> np.ndarray:
+            parity = np.bitwise_xor.reduce(block, axis=0)
+            nonzero_syndrome = np.zeros_like(parity)
+            for check in h:
+                nonzero_syndrome |= np.bitwise_xor.reduce(block[check], axis=0)
+            return parity ^ nonzero_syndrome
+
+        return decode(flips[0:7]) & decode(flips[7:14])
+
 
 @dataclass(frozen=True)
 class SteaneBlockLayout:
@@ -175,13 +197,37 @@ class SteaneSyndromeExtraction:
         x_syn = np.zeros((shots, self.repetitions, 3), dtype=np.uint8)
         z_syn = np.zeros((shots, self.repetitions, 3), dtype=np.uint8)
         h = self.code.hz  # Eq. (1) Hamming matrix, rows = parity checks
-        for layout in self.layouts:
-            bits = flips[:, list(layout.cbits)]
-            syn = (bits @ h.T.astype(np.int64)) % 2
+        # One broadcast matmul for every layout at once (0/1 sums are exact
+        # in float64); the per-layout loop only scatters the small results.
+        cbit_idx = np.array([layout.cbits for layout in self.layouts], dtype=np.intp)
+        bits = flips[:, cbit_idx].astype(np.float64)  # (shots, L, 7)
+        syn = (np.rint(bits @ h.T.astype(np.float64)).astype(np.int64) & 1).astype(np.uint8)
+        for k, layout in enumerate(self.layouts):
             if layout.kind == "bitflip":
-                x_syn[:, layout.repetition] = syn
+                x_syn[:, layout.repetition] = syn[:, k]
             else:
-                z_syn[:, layout.repetition] = syn
+                z_syn[:, layout.repetition] = syn[:, k]
+        return x_syn, z_syn
+
+    def parse_syndromes_packed(self, flips: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`parse_syndromes` over bit-packed measurement planes.
+
+        ``flips`` is ``(total_cbits, words)`` uint64.  Returns
+        ``(x_syn, z_syn)`` of shape ``(repetitions, 3, words)``: packed
+        syndrome bit-planes, each the XOR of the measurement rows in one
+        Hamming check's support.
+        """
+        h = self.code.hz.astype(bool)
+        nwords = flips.shape[1]
+        x_syn = np.zeros((self.repetitions, 3, nwords), dtype=np.uint64)
+        z_syn = np.zeros_like(x_syn)
+        for layout in self.layouts:
+            cbits = np.asarray(layout.cbits, dtype=np.intp)
+            target = x_syn if layout.kind == "bitflip" else z_syn
+            for j, check in enumerate(h):
+                target[layout.repetition, j] = np.bitwise_xor.reduce(
+                    flips[cbits[check]], axis=0
+                )
         return x_syn, z_syn
 
     def ancilla_factory(self) -> SteaneAncillaPrep:

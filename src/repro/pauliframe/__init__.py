@@ -4,11 +4,32 @@ Fault-tolerant circuits in this paper are Clifford circuits, so an error
 history is fully described by a Pauli *frame* — which X and Z errors are
 currently attached to each qubit relative to the noiseless reference run.
 Frames propagate through Clifford gates linearly and can be simulated for
-many shots at once as boolean matrices; this is how laptop-scale threshold
-Monte Carlo becomes feasible (the same trick modern tools like Stim use,
-implemented here from scratch on NumPy).
+many shots at once; the default execution path compiles the circuit to a
+fused instruction stream over **bit-packed** frames (shots along the bit
+axis of ``uint64`` words), the same trick modern tools like Stim use,
+implemented here from scratch on NumPy.  ``FrameSimulator`` with
+``backend="legacy"`` keeps the original per-operation interpreter as the
+executable reference semantics.
 """
 
-from repro.pauliframe.engine import FrameResult, FrameSimulator
+from repro.pauliframe.compiled import CompiledFrameProgram
+from repro.pauliframe.engine import FrameResult, FrameSimulator, validate_frame_circuit
+from repro.pauliframe.packing import (
+    pack_rows,
+    pack_shot_major,
+    unpack_rows,
+    unpack_shot_major,
+    words_for,
+)
 
-__all__ = ["FrameResult", "FrameSimulator"]
+__all__ = [
+    "CompiledFrameProgram",
+    "FrameResult",
+    "FrameSimulator",
+    "validate_frame_circuit",
+    "pack_rows",
+    "unpack_rows",
+    "pack_shot_major",
+    "unpack_shot_major",
+    "words_for",
+]

@@ -1,0 +1,71 @@
+"""Bit-packing helpers for the compiled Pauli-frame engine.
+
+Packed layout: one frame bit-plane per qubit, shots along the bit axis of
+``uint64`` words — array shape ``(rows, words)`` with ``words =
+ceil(shots / 64)`` and shot ``s`` living in bit ``s % 64`` of word
+``s // 64`` (little-endian within the word).  Every XOR between two planes
+then updates 64 Monte-Carlo shots per machine word, which is what makes
+Stim-style frame simulation fast.
+
+The unpacked convention used everywhere else in the library is
+``(shots, rows)`` uint8; :func:`pack_shot_major` / :func:`unpack_shot_major`
+convert between the two.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "words_for",
+    "pack_rows",
+    "unpack_rows",
+    "pack_shot_major",
+    "unpack_shot_major",
+]
+
+if sys.byteorder != "little":  # pragma: no cover - x86/arm are little-endian
+    raise ImportError(
+        "the packed frame engine relies on little-endian uint8->uint64 views"
+    )
+
+WORD_BITS = 64
+
+
+def words_for(shots: int) -> int:
+    """Number of uint64 words needed to hold ``shots`` bits."""
+    return (int(shots) + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack ``(rows, shots)`` {0,1} values into ``(rows, words)`` uint64."""
+    arr = np.ascontiguousarray(np.asarray(bits, dtype=np.uint8) & 1)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-d bit matrix, got shape {arr.shape}")
+    nwords = words_for(arr.shape[1])
+    packed = np.packbits(arr, axis=1, bitorder="little")
+    if packed.shape[1] != nwords * 8:
+        packed = np.pad(packed, ((0, 0), (0, nwords * 8 - packed.shape[1])))
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def unpack_rows(planes: np.ndarray, shots: int) -> np.ndarray:
+    """Unpack ``(rows, words)`` uint64 planes into ``(rows, shots)`` uint8."""
+    planes = np.ascontiguousarray(planes)
+    as_bytes = planes.view(np.uint8).reshape(planes.shape[0], -1)
+    return np.unpackbits(as_bytes, axis=1, count=int(shots), bitorder="little")
+
+
+def pack_shot_major(arr: np.ndarray) -> np.ndarray:
+    """``(shots, rows)`` uint8 (the library convention) -> packed planes."""
+    return pack_rows(np.asarray(arr).T)
+
+
+def unpack_shot_major(planes: np.ndarray, shots: int) -> np.ndarray:
+    """Packed planes -> ``(shots, rows)`` uint8 (the library convention)."""
+    return np.ascontiguousarray(unpack_rows(planes, shots).T)
+
+

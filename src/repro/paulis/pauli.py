@@ -172,8 +172,11 @@ def pauli_from_string(spec: str) -> Pauli:
     s = s.upper()
     if not s or any(c not in _LETTER_TO_XZ for c in s):
         raise ValueError(f"invalid Pauli string {spec!r}")
-    n = len(s)
-    out = Pauli.identity(n)
-    for q, letter in enumerate(s):
-        out = out * Pauli.single(n, q, letter)
-    return Pauli(out.x, out.z, (out.phase + phase) % 4)
+    # Single-qubit factors act on disjoint qubits, so the product needs no
+    # commutation bookkeeping: x/z support comes straight from the letters
+    # and each Y contributes one factor of i (Y = iXZ).
+    letters = np.frombuffer(s.encode("ascii"), dtype=np.uint8)
+    x = ((letters == ord("X")) | (letters == ord("Y"))).astype(np.uint8)
+    z = ((letters == ord("Z")) | (letters == ord("Y"))).astype(np.uint8)
+    y_count = int(np.sum(x & z))
+    return Pauli(x, z, (phase + y_count) % 4)

@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro.codes.stabilizer_code import StabilizerCode
+from repro.pauliframe.packing import unpack_shot_major, words_for
 from repro.util.rng import as_rng
 from repro.util.stats import binomial_confidence, fit_power_law
 
@@ -106,9 +107,25 @@ def memory_experiment(
     """Circuit-level memory: ``rounds`` noisy EC rounds, then ideal decode.
 
     ``protocol`` is a :class:`repro.ft.SteaneECProtocol`-like object with
-    ``run_round(shots, seed, data_fx, data_fz)``.
+    ``run_round(shots, seed, data_fx, data_fz)``.  Protocols exposing the
+    packed entry (``run_round_packed`` on a compiled engine) keep the data
+    frames bit-packed for the whole round loop — one pair of ``(n, words)``
+    uint64 buffers allocated up front and carried across rounds, no
+    per-round pack/unpack of the data block.
     """
     rng = as_rng(seed)
+    if getattr(protocol, "engine", None) == "compiled" and hasattr(
+        protocol, "run_round_packed"
+    ):
+        n = getattr(protocol, "data_qubits", code.n)
+        nwords = words_for(shots)
+        dfx = np.zeros((n, nwords), dtype=np.uint64)
+        dfz = np.zeros((n, nwords), dtype=np.uint64)
+        for _ in range(rounds):
+            protocol.run_round_packed(shots, rng, dfx, dfz)
+        fx = unpack_shot_major(dfx, shots)
+        fz = unpack_shot_major(dfz, shots)
+        return _finalize(code, fx, fz, rounds)
     fx = fz = None
     for _ in range(rounds):
         fx, fz = protocol.run_round(shots, rng, data_fx=fx, data_fz=fz)

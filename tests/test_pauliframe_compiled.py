@@ -1,0 +1,337 @@
+"""Parity suite: compiled bit-packed frame engine vs the legacy interpreter.
+
+Two agreement regimes, mirroring the engine's contract:
+
+* **Exact** on every deterministic path — no noise, arbitrary initial
+  frames, fault injections, classically conditioned Paulis.  The two
+  engines must produce bit-identical :class:`FrameResult` contents.
+* **Statistical** on noisy paths — the engines consume randomness
+  differently (per-location draws vs per-channel-class planes), so seeded
+  outputs differ shot by shot; observed rates must agree within combined
+  Wilson 95% intervals.
+
+Plus packing round-trips and a seeded-determinism regression (same seed ⇒
+identical results, run to run and fused vs unfused).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.codes import SteaneCode
+from repro.ft import SteaneECProtocol
+from repro.ft.steane_ec import SteaneAncillaPrep, SteaneSyndromeExtraction
+from repro.noise import NoiseModel, circuit_level
+from repro.pauliframe import (
+    CompiledFrameProgram,
+    FrameSimulator,
+    pack_rows,
+    pack_shot_major,
+    unpack_rows,
+    unpack_shot_major,
+    words_for,
+)
+from repro.threshold import memory_experiment
+from repro.util.stats import wilson_interval
+
+
+def random_clifford_circuit(rng, num_qubits=6, num_cbits=6, depth=60, conditional=False):
+    c = Circuit(num_qubits, num_cbits)
+    one_q = ["H", "S", "SDG", "RPRIME", "X", "Y", "Z", "I"]
+    two_q = ["CNOT", "CZ", "CY", "SWAP"]
+    measured: list[int] = []
+    for _ in range(depth):
+        roll = rng.random()
+        if roll < 0.35:
+            c.append(one_q[rng.integers(len(one_q))], int(rng.integers(num_qubits)))
+        elif roll < 0.7:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            c.append(two_q[rng.integers(len(two_q))], int(a), int(b))
+        elif roll < 0.8:
+            q = int(rng.integers(num_qubits))
+            cb = int(rng.integers(num_cbits))
+            c.append("M" if rng.random() < 0.5 else "MX", q, cbits=(cb,))
+            measured.append(cb)
+        elif roll < 0.88:
+            c.reset(int(rng.integers(num_qubits)))
+        elif roll < 0.95 or not (conditional and measured):
+            c.tick()
+        else:
+            cond = tuple({int(rng.choice(measured)) for _ in range(2)})
+            gate = ["X", "Y", "Z"][rng.integers(3)]
+            c.append(gate, int(rng.integers(num_qubits)), condition=cond)
+    return c
+
+
+def assert_results_equal(a, b):
+    np.testing.assert_array_equal(a.meas_flips, b.meas_flips)
+    np.testing.assert_array_equal(a.fx, b.fx)
+    np.testing.assert_array_equal(a.fz, b.fz)
+
+
+class TestPacking:
+    @pytest.mark.parametrize("shots", [1, 63, 64, 65, 1000])
+    def test_roundtrip_rows(self, shots):
+        rng = np.random.default_rng(shots)
+        bits = (rng.random((5, shots)) < 0.3).astype(np.uint8)
+        packed = pack_rows(bits)
+        assert packed.shape == (5, words_for(shots))
+        np.testing.assert_array_equal(unpack_rows(packed, shots), bits)
+
+    def test_roundtrip_shot_major(self):
+        rng = np.random.default_rng(9)
+        arr = (rng.random((130, 7)) < 0.4).astype(np.uint8)
+        np.testing.assert_array_equal(unpack_shot_major(pack_shot_major(arr), 130), arr)
+
+    def test_xor_in_packed_domain_matches_unpacked(self):
+        rng = np.random.default_rng(10)
+        a = (rng.random((3, 100)) < 0.5).astype(np.uint8)
+        b = (rng.random((3, 100)) < 0.5).astype(np.uint8)
+        np.testing.assert_array_equal(
+            unpack_rows(pack_rows(a) ^ pack_rows(b), 100), a ^ b
+        )
+
+
+class TestExactParity:
+    @pytest.mark.parametrize("trial", range(5))
+    def test_random_circuits_noiseless(self, trial):
+        rng = np.random.default_rng(trial)
+        c = random_clifford_circuit(rng, conditional=True)
+        shots = 70  # straddles the 64-bit word boundary
+        init_fx = (rng.random((shots, c.num_qubits)) < 0.3).astype(np.uint8)
+        init_fz = (rng.random((shots, c.num_qubits)) < 0.3).astype(np.uint8)
+        legacy = FrameSimulator(c, backend="legacy").run(
+            shots, seed=0, initial_fx=init_fx, initial_fz=init_fz
+        )
+        compiled = FrameSimulator(c, backend="compiled").run(
+            shots, seed=0, initial_fx=init_fx, initial_fz=init_fz
+        )
+        assert_results_equal(legacy, compiled)
+
+    def test_fault_injection_parity(self):
+        rng = np.random.default_rng(77)
+        c = random_clifford_circuit(rng, conditional=True)
+        n_ops = len(c.operations)
+        shots = 80
+        specs = []
+        for s in range(shots):
+            entries = [
+                (int(rng.integers(-1, n_ops)), int(rng.integers(c.num_qubits)),
+                 "XYZ"[rng.integers(3)])
+                for _ in range(rng.integers(1, 4))
+            ]
+            specs.append(entries)
+        legacy = FrameSimulator(c, backend="legacy").run(shots, seed=0, fault_injections=specs)
+        compiled = FrameSimulator(c, backend="compiled").run(shots, seed=0, fault_injections=specs)
+        assert_results_equal(legacy, compiled)
+
+    def test_fused_requires_no_injection(self):
+        c = Circuit(2).h(0).cnot(0, 1)
+        prog = CompiledFrameProgram(c, fuse=True)
+        fx, fz, flips = prog.new_buffers(4)
+        with pytest.raises(ValueError):
+            prog.run_packed(4, 0, fx, fz, flips, fault_injections=[(0, 0, "X")] * 4)
+
+    def test_fused_and_unfused_bit_identical_under_noise(self):
+        # Fusion must not change how the RNG is consumed: the noise planes
+        # are keyed by location index, not by instruction shape.
+        rng = np.random.default_rng(5)
+        c = random_clifford_circuit(rng, conditional=True)
+        noise = circuit_level(0.02)
+        fused = CompiledFrameProgram(c, noise, fuse=True).run(300, seed=42)
+        unfused = CompiledFrameProgram(c, noise, fuse=False).run(300, seed=42)
+        assert_results_equal(fused, unfused)
+
+    def test_e02_factory_circuit_noiseless_parity(self):
+        c = SteaneAncillaPrep(SteaneCode(), verify=True).circuit()
+        rng = np.random.default_rng(3)
+        shots = 66
+        init_fx = (rng.random((shots, c.num_qubits)) < 0.2).astype(np.uint8)
+        legacy = FrameSimulator(c, backend="legacy").run(shots, seed=0, initial_fx=init_fx)
+        compiled = FrameSimulator(c, backend="compiled").run(shots, seed=0, initial_fx=init_fx)
+        assert_results_equal(legacy, compiled)
+
+    def test_e04_extraction_circuit_fault_paths(self):
+        # The E04 protocol circuit: single deterministic faults anywhere in
+        # the first half of the round must propagate identically.
+        c = SteaneSyndromeExtraction(SteaneCode(), 2).extraction_circuit()
+        n_ops = len(c.operations)
+        specs = [
+            (op_i % n_ops, q % c.num_qubits, "XYZ"[(op_i + q) % 3])
+            for op_i, q in zip(range(0, 2 * n_ops, 2), range(100))
+        ]
+        legacy = FrameSimulator(c, backend="legacy").run(len(specs), seed=0, fault_injections=specs)
+        compiled = FrameSimulator(c, backend="compiled").run(len(specs), seed=0, fault_injections=specs)
+        assert_results_equal(legacy, compiled)
+
+    def test_broadcast_initial_frames_match_legacy(self):
+        # The legacy engine accepts a (1, n) initial frame via NumPy
+        # broadcasting; the packed engine must broadcast before packing
+        # (packing a (1, n) array directly would hit only shot 0 per word).
+        c = Circuit(3, 3).cnot(0, 1).measure(0, 0).measure(1, 1).measure(2, 2)
+        init = np.array([[1, 0, 1]], dtype=np.uint8)
+        shots = 130
+        legacy = FrameSimulator(c, backend="legacy").run(shots, seed=0, initial_fx=init)
+        compiled = FrameSimulator(c, backend="compiled").run(shots, seed=0, initial_fx=init)
+        assert_results_equal(legacy, compiled)
+        assert legacy.meas_flips[:, 0].sum() == shots
+
+    def test_circuit_growth_recompiles(self):
+        # Circuit is append-only; growing it between runs must invalidate
+        # the cached instruction stream like the legacy interpreter would.
+        c = Circuit(1, 1).measure(0, 0)
+        sim = FrameSimulator(c)
+        before = sim.run(10, seed=0, initial_fx=np.ones((10, 1), dtype=np.uint8))
+        assert before.meas_flips[:, 0].all()
+        c.x(0, condition=(0,))  # cancels the injected X after measuring it
+        after = sim.run(10, seed=0, initial_fx=np.ones((10, 1), dtype=np.uint8))
+        assert not after.fx.any()
+
+    def test_noise_swap_recompiles(self):
+        c = Circuit(1, 1).h(0).measure(0, 0)
+        sim = FrameSimulator(c)
+        assert sim.run(2000, seed=0).meas_flips.sum() == 0
+        sim.noise = NoiseModel(eps_meas=1.0)
+        assert sim.run(2000, seed=0).meas_flips.all()
+
+    def test_protocol_broadcast_data_frames_match_legacy(self):
+        # run_round must broadcast a (1, 7) data frame across all shots on
+        # both engines, like the legacy in-place XOR did.
+        data_fx = np.array([[1, 1, 0, 0, 0, 0, 0]], dtype=np.uint8)
+        out = {}
+        for engine in ("legacy", "compiled"):
+            proto = SteaneECProtocol(NoiseModel(), engine=engine)
+            out[engine] = proto.run_round(130, seed=0, data_fx=data_fx)
+        np.testing.assert_array_equal(out["legacy"][0], out["compiled"][0])
+        np.testing.assert_array_equal(out["legacy"][1], out["compiled"][1])
+        # Eq. (12): the double bit-flip miscorrects identically in every shot.
+        assert (out["compiled"][0] == out["compiled"][0][0]).all()
+        assert out["compiled"][0].any()
+
+    def test_protocol_noiseless_parity(self):
+        # E02/E04 building block: a full Steane EC round with injected data
+        # errors is deterministic without noise — engines must agree exactly.
+        data_fx = np.zeros((8, 7), dtype=np.uint8)
+        data_fx[:, 2] = 1
+        out = {}
+        for engine in ("legacy", "compiled"):
+            proto = SteaneECProtocol(NoiseModel(), engine=engine)
+            out[engine] = proto.run_round(8, seed=0, data_fx=data_fx)
+        np.testing.assert_array_equal(out["legacy"][0], out["compiled"][0])
+        np.testing.assert_array_equal(out["legacy"][1], out["compiled"][1])
+
+
+class TestSeededDeterminism:
+    def test_same_seed_same_result(self):
+        rng = np.random.default_rng(8)
+        c = random_clifford_circuit(rng, conditional=True)
+        sim = FrameSimulator(c, circuit_level(0.01))
+        a = sim.run(500, seed=123)
+        b = sim.run(500, seed=123)
+        assert_results_equal(a, b)
+
+    def test_fresh_simulator_same_seed_same_result(self):
+        rng = np.random.default_rng(8)
+        c = random_clifford_circuit(rng, conditional=True)
+        noise = circuit_level(0.01)
+        a = FrameSimulator(c, noise).run(500, seed=123)
+        b = FrameSimulator(c, noise).run(500, seed=123)
+        assert_results_equal(a, b)
+
+    def test_packed_buffer_reuse_is_clean(self):
+        # Reusing buffers across runs must not leak state between rounds.
+        c = Circuit(2, 2).h(0).cnot(0, 1).measure(0, 0).measure(1, 1)
+        prog = CompiledFrameProgram(c, circuit_level(0.05))
+        fx, fz, flips = prog.new_buffers(200)
+        prog.run_packed(200, 1, fx, fz, flips)
+        first = (fx.copy(), fz.copy(), flips.copy())
+        fx[:] = 0
+        fz[:] = 0
+        prog.run_packed(200, 1, fx, fz, flips)
+        np.testing.assert_array_equal(first[0], fx)
+        np.testing.assert_array_equal(first[1], fz)
+        np.testing.assert_array_equal(first[2], flips)
+
+    def test_memory_experiment_seeded_regression(self):
+        proto = SteaneECProtocol(circuit_level(1e-3))
+        r1 = memory_experiment(proto, SteaneCode(), rounds=3, shots=2000, seed=7)
+        r2 = memory_experiment(proto, SteaneCode(), rounds=3, shots=2000, seed=7)
+        assert r1.failures == r2.failures
+        assert r1.failure_rate == r2.failure_rate
+
+
+def wilson_compatible(k1, n1, k2, n2):
+    """True when two binomial observations have overlapping 95% intervals."""
+    lo1, hi1 = wilson_interval(k1, n1)
+    lo2, hi2 = wilson_interval(k2, n2)
+    return max(lo1, lo2) <= min(hi1, hi2)
+
+
+class TestStatisticalParity:
+    SHOTS = 40_000
+
+    @pytest.mark.parametrize(
+        "noise",
+        [
+            NoiseModel(eps_gate1=0.3),           # dense sampling path
+            NoiseModel(eps_gate1=0.01),          # sparse sampling path
+            NoiseModel(eps_meas=0.15),
+            NoiseModel(eps_prep=0.12),
+            NoiseModel(eps_store=0.08),
+            NoiseModel(eps_gate2=0.2, two_qubit_mode="both_damaged"),
+            NoiseModel(eps_gate2=0.2, two_qubit_mode="depolarizing15"),
+            NoiseModel(eps_gate2=0.01, two_qubit_mode="depolarizing15"),
+        ],
+    )
+    def test_channel_rates_match(self, noise):
+        c = Circuit(2, 2)
+        c.h(0).cnot(0, 1).tick().reset(1).measure(0, 0).measure(1, 1)
+        res = {}
+        for backend in ("legacy", "compiled"):
+            res[backend] = FrameSimulator(c, noise, backend=backend).run(self.SHOTS, seed=11)
+        for field in ("meas_flips", "fx", "fz"):
+            a = getattr(res["legacy"], field)
+            b = getattr(res["compiled"], field)
+            for col in range(a.shape[1]):
+                assert wilson_compatible(
+                    int(a[:, col].sum()), self.SHOTS, int(b[:, col].sum()), self.SHOTS
+                ), (field, col)
+
+    def test_conditional_gate_noise_rates_match(self):
+        # The conditional Pauli fires on ~half the shots and is noisy only
+        # where it fires — the masked-noise rate must agree across engines.
+        c = Circuit(1, 2)
+        c.h(0).measure(0, 0)  # reference outcome 0; flips ~eps rate
+        c = Circuit(1, 2).reset(0).measure(0, 0).x(0, condition=(0,)).measure(0, 1)
+        noise = NoiseModel(eps_prep=0.5, eps_gate1=0.3)
+        res = {}
+        for backend in ("legacy", "compiled"):
+            res[backend] = FrameSimulator(c, noise, backend=backend).run(self.SHOTS, seed=13)
+        a, b = res["legacy"], res["compiled"]
+        for col in range(2):
+            assert wilson_compatible(
+                int(a.meas_flips[:, col].sum()), self.SHOTS,
+                int(b.meas_flips[:, col].sum()), self.SHOTS,
+            )
+
+    def test_steane_round_logical_rates_match(self):
+        code = SteaneCode()
+        eps = 2e-3
+        counts = {}
+        for engine in ("legacy", "compiled"):
+            proto = SteaneECProtocol(circuit_level(eps), engine=engine)
+            fx, fz = proto.run_round(self.SHOTS, seed=17)
+            cfx, cfz = code.correct_frame(fx, fz)
+            action = code.logical_action_of_frame(cfx, cfz)
+            counts[engine] = int(action.any(axis=1).sum())
+        assert wilson_compatible(counts["legacy"], self.SHOTS, counts["compiled"], self.SHOTS)
+
+    def test_packed_and_unpacked_protocol_entries_match(self):
+        proto = SteaneECProtocol(circuit_level(1e-3))
+        shots = 5000
+        fx_u, fz_u = proto.run_round(shots, seed=19)
+        dfx = np.zeros((7, words_for(shots)), dtype=np.uint64)
+        dfz = np.zeros_like(dfx)
+        proto.run_round_packed(shots, 19, dfx, dfz)
+        np.testing.assert_array_equal(fx_u, unpack_shot_major(dfx, shots))
+        np.testing.assert_array_equal(fz_u, unpack_shot_major(dfz, shots))
