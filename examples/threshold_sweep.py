@@ -6,6 +6,8 @@ prints the encoded-vs-physical crossing — the operational meaning of §5's
 long quantum computations".  Takes a minute or two at the default shots.
 """
 
+import argparse
+
 import numpy as np
 
 from repro.codes import SteaneCode
@@ -15,6 +17,12 @@ from repro.threshold import pseudo_threshold
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="shard each grid point's shots across this many processes",
+    )
+    args = parser.parse_args()
     grid = np.array([5e-5, 1e-4, 2e-4, 4e-4, 8e-4, 1.6e-3])
     crossing, curve = pseudo_threshold(
         lambda eps: SteaneECProtocol(circuit_level(eps)),
@@ -22,6 +30,7 @@ def main() -> None:
         grid,
         shots=60_000,
         seed=42,
+        workers=args.workers,
     )
     print(f"{'eps':>10} | {'p_logical':>11} | encoding")
     print("-" * 38)

@@ -2,24 +2,32 @@
 
 Runs an E01-style encoded-memory experiment (Steane code, circuit-level
 noise, repeated EC rounds) on both engines, records wall time and
-throughput, and writes the repo's first perf datapoint to
-``BENCH_pauliframe.json``.  See PERF.md for the protocol and schema.
+throughput, and writes the perf datapoint to ``BENCH_pauliframe.json``.
+With ``--workers N`` (N > 1) it additionally times the multiprocess
+shot-sharded driver and records the parallel-scaling datapoint.  See
+PERF.md for the protocol and schema.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_perf.py            # full (10k shots)
     PYTHONPATH=src python scripts/bench_perf.py --quick    # CI-sized
     PYTHONPATH=src python scripts/bench_perf.py --check    # guard only
+    PYTHONPATH=src python scripts/bench_perf.py --workers 4  # + sharded run
 
 The JSON is refused (exit 2) when the new compiled throughput regresses
 more than ``REGRESSION_TOLERANCE`` against the recorded baseline, so the
 file can only ratchet forward (or be updated deliberately with --force).
+The guard compares like-for-like: the single-process ``compiled`` entry is
+always checked against the stored single-process entry, and the sharded
+entry only against a stored sharded entry with the *same* worker count —
+a multi-core datapoint can never mask a single-core regression.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -31,23 +39,40 @@ from repro.codes import SteaneCode  # noqa: E402
 from repro.ft import SteaneECProtocol  # noqa: E402
 from repro.noise import circuit_level  # noqa: E402
 from repro.threshold import memory_experiment  # noqa: E402
+from repro.threshold.sharded import DEFAULT_NUM_SHARDS  # noqa: E402
 
 BENCH_PATH = REPO_ROOT / "BENCH_pauliframe.json"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 REGRESSION_TOLERANCE = 0.20  # refuse overwrite when >20% slower
 
 
-def _time_engine(engine: str, shots: int, rounds: int, eps: float, seed: int) -> dict:
+# The sharded datapoint runs a 400x-shots workload: the single-process pass
+# finishes the default 10k x 10 experiment in ~25 ms and pool startup costs
+# ~0.6 s, so parallel scaling is only measurable on a workload sized in
+# seconds (~9 s single-core at the default).  The factor keeps --quick runs
+# proportionally small.
+SHARDED_SHOT_FACTOR = 400
+
+
+def _time_engine(
+    engine: str, shots: int, rounds: int, eps: float, seed: int, workers: int = 1
+) -> dict:
     code = SteaneCode()
     protocol = SteaneECProtocol(circuit_level(eps), engine=engine)
     # Warm-up run compiles programs and allocates packed buffers so the
     # measured pass times steady-state throughput.
     memory_experiment(protocol, code, rounds=1, shots=min(shots, 256), seed=seed)
+    # The default shard plan would cap parallelism at 16 shards; size it to
+    # the worker count so the recorded datapoint really used N workers.
+    num_shards = None if workers == 1 else max(DEFAULT_NUM_SHARDS, workers)
     t0 = time.perf_counter()
-    result = memory_experiment(protocol, code, rounds=rounds, shots=shots, seed=seed)
+    result = memory_experiment(
+        protocol, code, rounds=rounds, shots=shots, seed=seed, workers=workers,
+        num_shards=num_shards,
+    )
     elapsed = time.perf_counter() - t0
     shot_rounds = shots * rounds
-    return {
+    record = {
         "engine": engine,
         "seconds": round(elapsed, 4),
         "shots_per_sec": round(shots / elapsed, 1),
@@ -55,13 +80,30 @@ def _time_engine(engine: str, shots: int, rounds: int, eps: float, seed: int) ->
         "failure_rate": result.failure_rate,
         "failures": result.failures,
     }
+    if workers != 1:
+        record["workers"] = workers
+        record["shots"] = shots
+        record["num_shards"] = num_shards
+    return record
 
 
-def run_benchmark(shots: int = 10_000, rounds: int = 10, eps: float = 1e-3, seed: int = 2026) -> dict:
-    """Measure both engines on the same experiment; returns the record."""
+def run_benchmark(
+    shots: int = 10_000,
+    rounds: int = 10,
+    eps: float = 1e-3,
+    seed: int = 2026,
+    workers: int = 1,
+) -> dict:
+    """Measure both engines on the same experiment; returns the record.
+
+    ``workers > 1`` adds a ``sharded`` entry: the same compiled experiment
+    run through the multiprocess shot-sharded driver, with its scaling
+    against the single-process compiled pass.  Process spawn and pickling
+    overhead is included in the measured time — it is part of the protocol.
+    """
     legacy = _time_engine("legacy", shots, rounds, eps, seed)
     compiled = _time_engine("compiled", shots, rounds, eps, seed)
-    return {
+    record = {
         "bench": "p01_frame_engine",
         "schema_version": SCHEMA_VERSION,
         "recorded_unix": int(time.time()),
@@ -72,32 +114,105 @@ def run_benchmark(shots: int = 10_000, rounds: int = 10, eps: float = 1e-3, seed
             "shots": shots,
             "rounds": rounds,
             "seed": seed,
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
         },
         "legacy": legacy,
         "compiled": compiled,
         "speedup": round(legacy["seconds"] / compiled["seconds"], 2),
     }
+    if workers > 1:
+        sharded = _time_engine(
+            "compiled", shots * SHARDED_SHOT_FACTOR, rounds, eps, seed, workers=workers
+        )
+        sharded["scaling_vs_compiled"] = round(
+            sharded["shot_rounds_per_sec"] / compiled["shot_rounds_per_sec"], 2
+        )
+        record["sharded"] = sharded
+    return record
 
 
-def check_regression(new: dict, old: dict) -> str | None:
-    """Error string when ``new`` regresses >tolerance against ``old``."""
-    old_rate = old.get("compiled", {}).get("shot_rounds_per_sec")
-    new_rate = new.get("compiled", {}).get("shot_rounds_per_sec")
+def _rate_regression(new: dict, old: dict, label: str) -> str | None:
+    old_rate = old.get("shot_rounds_per_sec")
+    new_rate = new.get("shot_rounds_per_sec")
     if not old_rate or not new_rate:
         return None
     if new_rate < (1.0 - REGRESSION_TOLERANCE) * old_rate:
         return (
-            f"compiled throughput regressed {100 * (1 - new_rate / old_rate):.1f}% "
+            f"{label} throughput regressed {100 * (1 - new_rate / old_rate):.1f}% "
             f"({new_rate:.0f} vs baseline {old_rate:.0f} shot-rounds/sec); "
             f"refusing to overwrite {BENCH_PATH.name} (use --force to accept)"
         )
     return None
 
 
+def _protocol_key(record: dict) -> tuple:
+    config = record.get("config", {})
+    return (config.get("shots"), config.get("rounds"), config.get("noise"))
+
+
+def check_regression(new: dict, old: dict) -> str | None:
+    """Error string when ``new`` regresses >tolerance against ``old``.
+
+    Comparisons are strictly like-for-like: records measured under a
+    different protocol (shots/rounds/noise — e.g. a --quick run against the
+    full-size baseline) compare nothing, the single-process ``compiled``
+    entries are always compared for same-protocol records, and ``sharded``
+    entries only when both records carry one with the same ``workers`` — a
+    multi-core datapoint can never mask a single-core regression.
+    """
+    if _protocol_key(new) != _protocol_key(old):
+        return None
+    err = _rate_regression(new.get("compiled", {}), old.get("compiled", {}), "compiled")
+    if err:
+        return err
+    new_sh, old_sh = new.get("sharded", {}), old.get("sharded", {})
+    if new_sh and old_sh and new_sh.get("workers") == old_sh.get("workers"):
+        return _rate_regression(
+            new_sh, old_sh, f"sharded (workers={new_sh.get('workers')})"
+        )
+    return None
+
+
 def write_guarded(record: dict, path: Path = BENCH_PATH, force: bool = False) -> int:
-    """Write the record unless it regresses against the stored baseline."""
+    """Write the record unless it regresses against the stored baseline.
+
+    A record measured under a different protocol (e.g. --quick) never
+    silently replaces the stored baseline — incomparable writes are refused
+    the same way regressions are, and need --force.  A stored sharded
+    baseline is never silently lost either: a run without ``--workers``
+    carries it forward, and a run with a *different* worker count is
+    refused (nothing to compare it against).
+    """
     if path.exists() and not force:
         old = json.loads(path.read_text())
+        if _protocol_key(record) != _protocol_key(old):
+            print(
+                f"NOT COMPARABLE: stored baseline was measured at "
+                f"shots/rounds/noise = {_protocol_key(old)}, this run at "
+                f"{_protocol_key(record)}; refusing to overwrite "
+                f"{path.name} (use --force to replace the protocol)",
+                file=sys.stderr,
+            )
+            return 2
+        old_sh = old.get("sharded")
+        new_sh = record.get("sharded")
+        if old_sh and not new_sh:
+            # Keep the multi-worker baseline alive, flagged as coming from
+            # an earlier run: its scaling_vs_compiled refers to *that*
+            # run's compiled rate, not the one written alongside it here.
+            # Copy rather than mutate — the caller's record must keep
+            # matching what was actually measured.
+            record = {**record, "sharded": {**old_sh, "carried_forward": True}}
+        elif old_sh and new_sh and new_sh.get("workers") != old_sh.get("workers"):
+            print(
+                f"NOT COMPARABLE: stored sharded baseline used "
+                f"workers={old_sh.get('workers')}, this run "
+                f"workers={new_sh.get('workers')}; re-run with the stored "
+                f"worker count or --force to replace it",
+                file=sys.stderr,
+            )
+            return 2
         err = check_regression(record, old)
         if err:
             print(f"REGRESSION: {err}", file=sys.stderr)
@@ -113,6 +228,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rounds", type=int, default=10)
     parser.add_argument("--eps", type=float, default=1e-3)
     parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="also time the multiprocess shot-sharded driver with this many "
+        "worker processes and record the parallel-scaling datapoint",
+    )
     parser.add_argument("--quick", action="store_true", help="CI-sized run (2k shots, 3 rounds)")
     parser.add_argument("--force", action="store_true", help="overwrite even on regression")
     parser.add_argument(
@@ -125,8 +245,10 @@ def main(argv: list[str] | None = None) -> int:
         args.shots, args.rounds = 2_000, 3
     if args.shots < 1 or args.rounds < 1:
         parser.error("--shots and --rounds must be positive")
+    if args.workers < 1:
+        parser.error("--workers must be positive")
 
-    record = run_benchmark(args.shots, args.rounds, args.eps, args.seed)
+    record = run_benchmark(args.shots, args.rounds, args.eps, args.seed, args.workers)
     print(
         f"legacy:   {record['legacy']['seconds']:8.3f}s "
         f"({record['legacy']['shot_rounds_per_sec']:>12,.0f} shot-rounds/sec)"
@@ -136,10 +258,22 @@ def main(argv: list[str] | None = None) -> int:
         f"({record['compiled']['shot_rounds_per_sec']:>12,.0f} shot-rounds/sec)"
     )
     print(f"speedup:  {record['speedup']:.1f}x")
+    if "sharded" in record:
+        sh = record["sharded"]
+        print(
+            f"sharded:  {sh['seconds']:8.3f}s "
+            f"({sh['shot_rounds_per_sec']:>12,.0f} shot-rounds/sec, "
+            f"workers={sh['workers']}, {sh['scaling_vs_compiled']:.2f}x vs compiled "
+            f"on {record['config']['cpu_count']} cpu(s))"
+        )
 
     if args.check:
         if args.out.exists():
-            err = check_regression(record, json.loads(args.out.read_text()))
+            old = json.loads(args.out.read_text())
+            if _protocol_key(record) != _protocol_key(old):
+                print("stored baseline uses a different protocol; nothing to compare")
+                return 0
+            err = check_regression(record, old)
             if err:
                 print(f"REGRESSION: {err}", file=sys.stderr)
                 return 2

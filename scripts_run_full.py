@@ -13,15 +13,20 @@ import traceback
 from pathlib import Path
 
 
-def run_experiments(output_path: str) -> int:
+def run_experiments(output_path: str, workers: int = 1) -> int:
+    import inspect
+
     from repro.experiments import ALL_EXPERIMENTS
 
     results = {}
     failed = []
     for name, runner in ALL_EXPERIMENTS.items():
+        kwargs = {"quick": False}
+        if workers != 1 and "workers" in inspect.signature(runner).parameters:
+            kwargs["workers"] = workers
         t0 = time.time()
         try:
-            results[name] = runner(quick=False)
+            results[name] = runner(**kwargs)
         except Exception:
             failed.append(name)
             results[name] = {"_error": traceback.format_exc()}
@@ -38,11 +43,19 @@ def run_experiments(output_path: str) -> int:
     return 0
 
 
-def run_bench(quick: bool) -> int:
+def run_bench(quick: bool, workers: int = 1) -> int:
     sys.path.insert(0, str(Path(__file__).resolve().parent / "scripts"))
     from bench_perf import main as bench_main
 
-    return bench_main(["--quick"] if quick else [])
+    # Quick runs are smoke runs only: CI-sized rates are overhead-dominated
+    # and were never comparable to the full-size baseline (the old guarded
+    # write refused them 100% of the time as a spurious "regression").  The
+    # real regression guard engages on the full protocol, i.e. --bench
+    # without --quick.
+    argv = ["--quick", "--check"] if quick else []
+    if workers != 1:
+        argv += ["--workers", str(workers)]
+    return bench_main(argv)
 
 
 def main() -> int:
@@ -54,13 +67,19 @@ def main() -> int:
     )
     parser.add_argument("--quick", action="store_true", help="CI-sized bench run")
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help="shot-shard Monte Carlo workloads across this many worker "
+        "processes (experiments that support it, and the bench's sharded "
+        "datapoint)",
+    )
+    parser.add_argument(
         "--out", default="/root/repo/full_results.json",
         help="experiments output JSON (the bench always writes BENCH_*.json)",
     )
     args = parser.parse_args()
     if args.bench:
-        return run_bench(args.quick)
-    return run_experiments(args.out)
+        return run_bench(args.quick, args.workers)
+    return run_experiments(args.out, args.workers)
 
 
 if __name__ == "__main__":

@@ -25,7 +25,7 @@ from repro.threshold.montecarlo import (
     memory_experiment,
 )
 from repro.util.rng import as_rng
-from repro.util.stats import binomial_confidence
+from repro.util.stats import binomial_confidence, logical_error_per_round
 
 __all__ = ["LogicalMemory", "UnencodedMemory"]
 
@@ -84,11 +84,23 @@ class LogicalMemory:
         return None
 
     # ------------------------------------------------------------------
-    def run(self, rounds: int, shots: int, seed: int | None = None) -> MemoryResult:
-        """Simulate ``rounds`` EC rounds over ``shots`` Monte Carlo samples."""
+    def run(
+        self, rounds: int, shots: int, seed: int | None = None, workers: int = 1
+    ) -> MemoryResult:
+        """Simulate ``rounds`` EC rounds over ``shots`` Monte Carlo samples.
+
+        ``workers>1`` shards the shots across processes (see
+        :mod:`repro.threshold.sharded`); ``workers=1`` is the exact
+        single-process path.
+        """
         if self.method == "ideal":
-            return code_capacity_memory(self.code, self.noise.eps_store or self.eps, rounds, shots, seed)
-        return memory_experiment(self._protocol, self.code, rounds, shots, seed)
+            return code_capacity_memory(
+                self.code, self.noise.eps_store or self.eps, rounds, shots, seed,
+                workers=workers,
+            )
+        return memory_experiment(
+            self._protocol, self.code, rounds, shots, seed, workers=workers
+        )
 
     def logical_error_per_round(self, shots: int = 20_000, seed: int | None = 0) -> float:
         """Convenience: one-round failure rate."""
@@ -120,5 +132,6 @@ class UnencodedMemory:
         fz = np.bitwise_xor.reduce(hit & (kind != 0), axis=1)
         failures = int((fx | fz).sum())
         est, low, high = binomial_confidence(failures, shots)
-        per_round = 1.0 - (1.0 - min(est, 1 - 1e-15)) ** (1.0 / rounds)
-        return MemoryResult(rounds, shots, failures, est, low, high, per_round)
+        return MemoryResult(
+            rounds, shots, failures, est, low, high, logical_error_per_round(est, rounds)
+        )

@@ -12,20 +12,25 @@ import numpy as np
 
 from repro.codes import SteaneCode
 from repro.core import UnencodedMemory
-from repro.threshold import code_capacity_memory
+from repro.threshold import code_capacity_memory, spawn_shard_seeds
 from repro.util.stats import fit_power_law
 
 __all__ = ["run"]
 
 
-def run(quick: bool = False) -> dict:
+def run(quick: bool = False, workers: int = 1) -> dict:
     code = SteaneCode()
     eps_grid = np.array([3e-4, 1e-3, 3e-3, 1e-2, 3e-2])
     shots = 20_000 if quick else 400_000
     rows = []
+    encoded_seeds = spawn_shard_seeds(100, len(eps_grid))
+    bare_seeds = spawn_shard_seeds(200, len(eps_grid))
     for i, eps in enumerate(eps_grid):
-        encoded = code_capacity_memory(code, float(eps), rounds=1, shots=shots, seed=100 + i)
-        bare = UnencodedMemory(float(eps)).run(1, shots, seed=200 + i)
+        encoded = code_capacity_memory(
+            code, float(eps), rounds=1, shots=shots, seed=encoded_seeds[i],
+            workers=workers,
+        )
+        bare = UnencodedMemory(float(eps)).run(1, shots, seed=bare_seeds[i])
         rows.append(
             {
                 "eps": float(eps),

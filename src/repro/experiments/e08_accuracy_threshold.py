@@ -26,7 +26,7 @@ from repro.threshold.counting import FullSteaneRound
 __all__ = ["run"]
 
 
-def run(quick: bool = False) -> dict:
+def run(quick: bool = False, workers: int = 1) -> dict:
     report = count_fault_paths(FullSteaneRound())
     eps0_counting = threshold_from_counting(report)
 
@@ -38,6 +38,7 @@ def run(quick: bool = False) -> dict:
         grid,
         shots=shots,
         seed=8,
+        workers=workers,
     )
     return {
         "experiment": "E08",

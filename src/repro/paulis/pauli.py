@@ -54,6 +54,19 @@ class Pauli:
     def __setattr__(self, *_: object) -> None:  # pragma: no cover - guard
         raise AttributeError("Pauli is immutable")
 
+    # Pickle support: the default slots-state restore goes through
+    # __setattr__, which the immutability guard blocks — protocols carrying
+    # Paulis must cross process boundaries for the sharded Monte Carlo
+    # driver, so restore state with object.__setattr__ instead.
+    def __getstate__(self) -> tuple[np.ndarray, np.ndarray, int]:
+        return (self.x, self.z, self.phase)
+
+    def __setstate__(self, state: tuple[np.ndarray, np.ndarray, int]) -> None:
+        x, z, phase = state
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "z", z)
+        object.__setattr__(self, "phase", phase)
+
     # -- constructors ---------------------------------------------------
     @classmethod
     def identity(cls, n: int) -> "Pauli":

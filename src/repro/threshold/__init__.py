@@ -33,10 +33,19 @@ from repro.threshold.scaling import (
 )
 from repro.threshold.counting import count_fault_paths, threshold_from_counting
 from repro.threshold.montecarlo import (
+    PseudoThresholdNotBracketed,
+    PseudoThresholdWarning,
     code_capacity_memory,
+    crossing_from_curve,
     fit_level1_coefficient,
     memory_experiment,
     pseudo_threshold,
+)
+from repro.threshold.sharded import (
+    sharded_code_capacity_memory,
+    sharded_memory_experiment,
+    shard_sizes,
+    spawn_shard_seeds,
 )
 from repro.threshold.resources import (
     FactoringProblem,
@@ -60,10 +69,17 @@ __all__ = [
     "block_size_required",
     "count_fault_paths",
     "threshold_from_counting",
+    "PseudoThresholdNotBracketed",
+    "PseudoThresholdWarning",
     "code_capacity_memory",
+    "crossing_from_curve",
     "fit_level1_coefficient",
     "memory_experiment",
     "pseudo_threshold",
+    "sharded_code_capacity_memory",
+    "sharded_memory_experiment",
+    "shard_sizes",
+    "spawn_shard_seeds",
     "FactoringProblem",
     "FactoringPlan",
     "plan_factoring",

@@ -4,10 +4,19 @@ Direct stochastic simulation of the EC protocols with the Pauli-frame
 engine: repeated-round memory experiments, the quadratic level-1 fit
 p_round = A·ε² that instantiates Eq. (33)'s coefficient, and the
 pseudo-threshold crossing where encoding stops helping.
+
+Every entry point takes a ``workers`` count: ``workers=1`` is the exact
+single-process path, ``workers>1`` shards shots across spawned processes
+via :mod:`repro.threshold.sharded` (pooled counts are invariant under the
+worker count).  Grid scans derive one independent child stream per grid
+point from ``np.random.SeedSequence(seed).spawn`` — the same plumbing the
+sharded driver uses per shard — so scans with nearby integer seeds never
+share streams.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -16,11 +25,14 @@ import numpy as np
 from repro.codes.stabilizer_code import StabilizerCode
 from repro.pauliframe.packing import unpack_shot_major, words_for
 from repro.util.rng import as_rng
-from repro.util.stats import binomial_confidence, fit_power_law
+from repro.util.stats import binomial_confidence, fit_power_law, logical_error_per_round
 
 __all__ = [
     "MemoryResult",
+    "PseudoThresholdNotBracketed",
+    "PseudoThresholdWarning",
     "code_capacity_memory",
+    "crossing_from_curve",
     "memory_experiment",
     "fit_level1_coefficient",
     "pseudo_threshold",
@@ -49,14 +61,28 @@ class MemoryResult:
     per_round_rate: float
 
 
+class PseudoThresholdWarning(UserWarning):
+    """A pseudo-threshold grid never bracketed the crossing."""
+
+
+class PseudoThresholdNotBracketed(RuntimeError):
+    """Raised (in ``on_unbracketed="raise"`` mode) when no grid pair
+    brackets the p(ε) = ε crossing; carries the measured ``curve``."""
+
+    def __init__(self, message: str, curve: list[tuple[float, float]]) -> None:
+        super().__init__(message)
+        self.curve = curve
+
+
 def _finalize(code: StabilizerCode, fx: np.ndarray, fz: np.ndarray, rounds: int) -> MemoryResult:
     cfx, cfz = code.correct_frame(fx, fz)
     action = code.logical_action_of_frame(cfx, cfz)
     failures = int(action.any(axis=1).sum())
     shots = fx.shape[0]
     est, low, high = binomial_confidence(failures, shots)
-    per_round = 1.0 - (1.0 - min(est, 1.0 - 1e-15)) ** (1.0 / rounds)
-    return MemoryResult(rounds, shots, failures, est, low, high, per_round)
+    return MemoryResult(
+        rounds, shots, failures, est, low, high, logical_error_per_round(est, rounds)
+    )
 
 
 def code_capacity_memory(
@@ -64,7 +90,9 @@ def code_capacity_memory(
     eps: float,
     rounds: int,
     shots: int,
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.Generator | np.random.SeedSequence | None = None,
+    workers: int = 1,
+    num_shards: int | None = None,
 ) -> MemoryResult:
     """§2's setting: storage depolarizing noise + *flawless* recovery.
 
@@ -72,6 +100,12 @@ def code_capacity_memory(
     decoder corrects; failure = accumulated logical action.  Reproduces the
     F = 1 − O(ε²) claim (Eq. 14) against the unencoded 1 − ε baseline.
     """
+    if workers != 1 or num_shards is not None:
+        from repro.threshold.sharded import sharded_code_capacity_memory
+
+        return sharded_code_capacity_memory(
+            code, eps, rounds, shots, seed, workers=workers, num_shards=num_shards
+        )
     rng = as_rng(seed)
     n = code.n
     fx = np.zeros((shots, n), dtype=np.uint8)
@@ -93,8 +127,9 @@ def code_capacity_memory(
         fz[:] = 0
     failures = int((logical_fx | logical_fz).sum())
     est, low, high = binomial_confidence(failures, shots)
-    per_round = 1.0 - (1.0 - min(est, 1.0 - 1e-15)) ** (1.0 / rounds)
-    return MemoryResult(rounds, shots, failures, est, low, high, per_round)
+    return MemoryResult(
+        rounds, shots, failures, est, low, high, logical_error_per_round(est, rounds)
+    )
 
 
 def memory_experiment(
@@ -102,7 +137,9 @@ def memory_experiment(
     code: StabilizerCode,
     rounds: int,
     shots: int,
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.Generator | np.random.SeedSequence | None = None,
+    workers: int = 1,
+    num_shards: int | None = None,
 ) -> MemoryResult:
     """Circuit-level memory: ``rounds`` noisy EC rounds, then ideal decode.
 
@@ -112,7 +149,16 @@ def memory_experiment(
     frames bit-packed for the whole round loop — one pair of ``(n, words)``
     uint64 buffers allocated up front and carried across rounds, no
     per-round pack/unpack of the data block.
+
+    ``workers>1`` (or an explicit ``num_shards``) shards the shots across
+    processes; see :func:`repro.threshold.sharded.sharded_memory_experiment`.
     """
+    if workers != 1 or num_shards is not None:
+        from repro.threshold.sharded import sharded_memory_experiment
+
+        return sharded_memory_experiment(
+            protocol, code, rounds, shots, seed, workers=workers, num_shards=num_shards
+        )
     rng = as_rng(seed)
     if getattr(protocol, "engine", None) == "compiled" and hasattr(
         protocol, "run_round_packed"
@@ -132,24 +178,67 @@ def memory_experiment(
     return _finalize(code, fx, fz, rounds)
 
 
+def _grid_seeds(seed: int | None, n: int) -> list[np.random.SeedSequence]:
+    """One independent child stream per grid point (never ``seed + i``)."""
+    from repro.threshold.sharded import spawn_shard_seeds
+
+    return spawn_shard_seeds(seed, n)
+
+
 def fit_level1_coefficient(
     protocol_factory: Callable[[float], object],
     code: StabilizerCode,
     eps_grid: np.ndarray,
     shots: int = 20_000,
     seed: int = 0,
+    workers: int = 1,
 ) -> tuple[float, float]:
     """Fit p_round = A·ε^k on a grid of physical rates.
 
     Returns ``(A, k)``; fault tolerance demands k ≈ 2 (Eq. 33's quadratic
     suppression), and 1/A is the level-1 pseudo-threshold estimate.
     """
+    eps_grid = np.asarray(eps_grid, dtype=float)
     rates = []
-    for i, eps in enumerate(np.asarray(eps_grid, dtype=float)):
+    for eps, point_seed in zip(eps_grid, _grid_seeds(seed, len(eps_grid))):
         protocol = protocol_factory(float(eps))
-        result = memory_experiment(protocol, code, rounds=1, shots=shots, seed=seed + i)
+        result = memory_experiment(
+            protocol, code, rounds=1, shots=shots, seed=point_seed, workers=workers
+        )
         rates.append(max(result.failure_rate, 1e-12))
-    return fit_power_law(np.asarray(eps_grid, dtype=float), np.asarray(rates))
+    return fit_power_law(eps_grid, np.asarray(rates))
+
+
+def crossing_from_curve(curve: list[tuple[float, float]]) -> float:
+    """Crossing of p(ε) = ε from a measured ``[(ε, p), ...]`` curve.
+
+    An exact crossing *at* a grid point (p == ε) is returned as that grid
+    point; otherwise the first sign change of p(ε) − ε is log-linearly
+    interpolated.  Returns NaN when no grid pair brackets a crossing —
+    callers decide whether that warns or raises.
+    """
+    residuals = [p - e for e, p in curve]
+    prev_nonzero = None
+    for i, f1 in enumerate(residuals):
+        if f1 == 0.0:
+            # Exact crossing at a grid point — the old `f1 < 0 <= f2` scan
+            # skipped this pair and the next one could no longer bracket.
+            # It only counts as a crossing on a genuine below→above
+            # transition: a lucky Monte Carlo touch inside an all-above
+            # curve is not a pseudo-threshold.
+            nxt = next((g for g in residuals[i + 1 :] if g != 0.0), None)
+            if (prev_nonzero is not None and prev_nonzero < 0.0) or (
+                prev_nonzero is None and nxt is not None and nxt > 0.0
+            ):
+                return float(curve[i][0])
+            continue
+        if i > 0 and residuals[i - 1] < 0.0 < f1:
+            # Log-linear interpolation of the sign change of p(ε) − ε.
+            (e1, _), (e2, _) = curve[i - 1], curve[i]
+            t = residuals[i - 1] / (residuals[i - 1] - f1)
+            return float(np.exp(np.log(e1) + t * (np.log(e2) - np.log(e1))))
+        prev_nonzero = f1
+    return float("nan")
 
 
 def pseudo_threshold(
@@ -158,25 +247,36 @@ def pseudo_threshold(
     eps_grid: np.ndarray,
     shots: int = 20_000,
     seed: int = 0,
+    workers: int = 1,
+    on_unbracketed: str = "warn",
 ) -> tuple[float, list[tuple[float, float]]]:
     """Crossing point where the encoded per-round failure equals ε.
 
     Below the crossing, one level of encoding *helps* (p_L1 < ε); above it
     coding "will make things worse instead of better" (§5).  Returns the
-    log-interpolated crossing and the (ε, p_L1) curve.
+    log-interpolated crossing and the (ε, p_L1) curve.  When no grid pair
+    brackets a crossing, ``on_unbracketed="warn"`` (default) emits a
+    :class:`PseudoThresholdWarning` and returns NaN with the curve;
+    ``"raise"`` raises :class:`PseudoThresholdNotBracketed` with the curve
+    attached.
     """
+    if on_unbracketed not in ("warn", "raise"):
+        raise ValueError("on_unbracketed must be 'warn' or 'raise'")
     eps_grid = np.asarray(sorted(eps_grid), dtype=float)
     curve: list[tuple[float, float]] = []
-    for i, eps in enumerate(eps_grid):
+    for eps, point_seed in zip(eps_grid, _grid_seeds(seed, len(eps_grid))):
         protocol = protocol_factory(float(eps))
-        result = memory_experiment(protocol, code, rounds=1, shots=shots, seed=seed + i)
+        result = memory_experiment(
+            protocol, code, rounds=1, shots=shots, seed=point_seed, workers=workers
+        )
         curve.append((float(eps), max(result.failure_rate, 1e-12)))
-    crossing = float("nan")
-    for (e1, p1), (e2, p2) in zip(curve, curve[1:]):
-        f1, f2 = p1 - e1, p2 - e2
-        if f1 < 0 <= f2:
-            # Log-linear interpolation of the sign change of p(ε) − ε.
-            t = f1 / (f1 - f2)
-            crossing = float(np.exp(np.log(e1) + t * (np.log(e2) - np.log(e1))))
-            break
+    crossing = crossing_from_curve(curve)
+    if np.isnan(crossing):
+        message = (
+            "pseudo-threshold grid never brackets the p(eps) = eps crossing; "
+            f"widen the grid or raise the shot count; curve = {curve}"
+        )
+        if on_unbracketed == "raise":
+            raise PseudoThresholdNotBracketed(message, curve)
+        warnings.warn(message, PseudoThresholdWarning, stacklevel=2)
     return crossing, curve

@@ -1,0 +1,243 @@
+"""Multiprocess shot-sharded Monte Carlo driver (perf follow-on to PR 4).
+
+Resolving failure rates near 10⁻⁴–10⁻⁵ needs orders of magnitude more
+shots than one core delivers even with the compiled packed engine, so the
+driver here shards any ``memory_experiment``-shaped workload across worker
+processes and merges the per-shard failure counts into one pooled
+:class:`~repro.threshold.montecarlo.MemoryResult` (Wilson bounds recomputed
+on the pooled counts).
+
+Determinism contract
+--------------------
+* The **shard plan** is a function of ``shots`` and ``num_shards`` only —
+  never of ``workers`` — and every shard draws from an independent child
+  stream of ``np.random.SeedSequence(seed)`` via ``spawn``.  A fixed
+  ``(seed, shots, num_shards)`` therefore yields identical pooled counts
+  for *any* worker count, including ``workers=1`` run in-process.
+* ``workers=1`` with the default ``num_shards=None`` takes the unsharded
+  single-process path and reproduces :func:`memory_experiment` /
+  :func:`code_capacity_memory` bit-for-bit (same seed → same failures).
+
+Workers are spawned (``multiprocessing`` spawn context, the portable and
+thread-safe choice); spawn's preparation data carries the parent's
+``sys.path``, so each worker re-imports ``repro`` wherever the parent
+found it.  Payloads travel by pickle, so protocols must be picklable (the
+compiled programs, codes, and noise models all are).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+
+from repro.util.stats import binomial_confidence, logical_error_per_round
+
+__all__ = [
+    "DEFAULT_NUM_SHARDS",
+    "shard_sizes",
+    "spawn_shard_seeds",
+    "sharded_memory_experiment",
+    "sharded_code_capacity_memory",
+]
+
+# Fixed default so the shard plan — and hence the pooled result — does not
+# depend on how many workers happen to execute it.  16 keeps shards large
+# enough for the packed engine while feeding up to 16 cores; runs with more
+# workers than shards warn and should pass num_shards explicitly.
+DEFAULT_NUM_SHARDS = 16
+
+# Shard streams spawned from a caller-supplied SeedSequence live under this
+# reserved spawn-key branch, far above any realistic n_children_spawned, so
+# they can neither mutate the caller's sequence nor collide with children
+# the caller spawns from it.
+_SHARD_SPAWN_DOMAIN = 2**32 - 1
+
+
+def shard_sizes(shots: int, num_shards: int | None = None) -> list[int]:
+    """Deterministic shard plan: ``shots`` split into near-equal shards.
+
+    Depends only on ``(shots, num_shards)`` so that results are invariant
+    under the worker count.  The first ``shots % n`` shards are one shot
+    larger; no shard is empty.
+    """
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    n = DEFAULT_NUM_SHARDS if num_shards is None else num_shards
+    if n < 1:
+        raise ValueError("num_shards must be positive")
+    n = min(n, shots)
+    base, rem = divmod(shots, n)
+    return [base + 1 if i < rem else base for i in range(n)]
+
+
+def spawn_shard_seeds(
+    seed: int | np.random.SeedSequence | None, n: int
+) -> list[np.random.SeedSequence]:
+    """``n`` independent child streams of ``SeedSequence(seed)``.
+
+    This is the one place shard (and grid-point) streams come from: spawned
+    children never collide across roots, unlike the old ``seed + i``
+    arithmetic where run ``s`` point ``i`` reused run ``s+1`` point ``i−1``.
+    A caller-supplied ``SeedSequence`` is never mutated, and the children
+    live under a reserved spawn-key branch — repeated calls with the same
+    sequence yield the same children, and none of them collide with
+    children the caller spawns from that sequence directly.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        root = np.random.SeedSequence(
+            seed.entropy,
+            spawn_key=tuple(seed.spawn_key) + (_SHARD_SPAWN_DOMAIN,),
+            pool_size=seed.pool_size,
+        )
+        return root.spawn(n)
+    if seed is not None and not isinstance(seed, (int, np.integer)):
+        raise TypeError(
+            "sharded runs derive per-shard streams from SeedSequence.spawn; "
+            "pass an int seed, a SeedSequence, or None — not a Generator"
+        )
+    return np.random.SeedSequence(seed).spawn(n)
+
+
+# ----------------------------------------------------------------------
+# Worker side.  Module-level functions only (spawn pickles them by name;
+# spawn's preparation data carries the parent's sys.path, so the child can
+# re-import repro wherever the parent found it).
+# ----------------------------------------------------------------------
+def _run_shard(spec: tuple) -> tuple[int, int]:
+    """Run one shard; returns ``(shots, failures)`` for pooling."""
+    kind, args, shard_shots, seed_seq = spec
+    from repro.threshold.montecarlo import code_capacity_memory, memory_experiment
+
+    if kind == "memory":
+        protocol, code, rounds = args
+        res = memory_experiment(protocol, code, rounds, shard_shots, seed=seed_seq)
+    elif kind == "capacity":
+        code, eps, rounds = args
+        res = code_capacity_memory(code, eps, rounds, shard_shots, seed=seed_seq)
+    else:  # pragma: no cover - specs are built in this module
+        raise ValueError(f"unknown shard kind {kind!r}")
+    return res.shots, res.failures
+
+
+# ----------------------------------------------------------------------
+# Driver side.
+# ----------------------------------------------------------------------
+def _build_specs(
+    kind: str,
+    args: tuple,
+    shots: int,
+    seed: int | np.random.SeedSequence | None,
+    num_shards: int | None,
+) -> list[tuple]:
+    sizes = shard_sizes(shots, num_shards)
+    seeds = spawn_shard_seeds(seed, len(sizes))
+    return [(kind, args, size, ss) for size, ss in zip(sizes, seeds)]
+
+
+# Spawned pools cost ~0.6 s to start, so they are cached per worker count
+# and reused across calls — a grid scan pays the startup once, not once per
+# grid point.  Workers are stateless between shards (each shard re-derives
+# everything from its spec), so reuse cannot leak state between runs.
+_pool_cache: dict[int, ProcessPoolExecutor] = {}
+
+
+def _shutdown_pools() -> None:
+    for pool in _pool_cache.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _pool_cache.clear()
+
+
+atexit.register(_shutdown_pools)
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _pool_cache.get(workers)
+    if pool is None:
+        ctx = multiprocessing.get_context("spawn")
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        _pool_cache[workers] = pool
+    return pool
+
+
+def _execute(specs: list[tuple], workers: int) -> list[tuple[int, int]]:
+    if workers == 1:
+        return [_run_shard(spec) for spec in specs]
+    if workers > len(specs):
+        warnings.warn(
+            f"only {len(specs)} shards for {workers} workers — parallelism is "
+            f"capped at the shard count; pass num_shards >= workers",
+            stacklevel=3,
+        )
+        workers = len(specs)
+    pool = _get_pool(workers)
+    try:
+        return list(pool.map(_run_shard, specs))
+    except BrokenProcessPool:
+        # A dead worker poisons the whole executor; evict it so the next
+        # call starts from a fresh pool instead of failing forever.
+        _pool_cache.pop(workers, None)
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+
+
+def _pooled_result(counts: list[tuple[int, int]], rounds: int):
+    from repro.threshold.montecarlo import MemoryResult
+
+    shots = sum(s for s, _ in counts)
+    failures = sum(f for _, f in counts)
+    est, low, high = binomial_confidence(failures, shots)
+    return MemoryResult(
+        rounds, shots, failures, est, low, high, logical_error_per_round(est, rounds)
+    )
+
+
+def sharded_memory_experiment(
+    protocol,
+    code,
+    rounds: int,
+    shots: int,
+    seed: int | np.random.SeedSequence | None = None,
+    workers: int = 1,
+    num_shards: int | None = None,
+):
+    """Shot-sharded :func:`~repro.threshold.montecarlo.memory_experiment`.
+
+    ``workers=1`` with ``num_shards=None`` is the unsharded single-process
+    path (bit-for-bit identical to ``memory_experiment``); any explicit
+    ``num_shards`` activates the sharded plan, executed in-process when
+    ``workers=1`` and across spawned processes otherwise — with identical
+    pooled counts either way.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if workers == 1 and num_shards is None:
+        from repro.threshold.montecarlo import memory_experiment
+
+        return memory_experiment(protocol, code, rounds, shots, seed)
+    specs = _build_specs("memory", (protocol, code, rounds), shots, seed, num_shards)
+    return _pooled_result(_execute(specs, workers), rounds)
+
+
+def sharded_code_capacity_memory(
+    code,
+    eps: float,
+    rounds: int,
+    shots: int,
+    seed: int | np.random.SeedSequence | None = None,
+    workers: int = 1,
+    num_shards: int | None = None,
+):
+    """Shot-sharded :func:`~repro.threshold.montecarlo.code_capacity_memory`."""
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if workers == 1 and num_shards is None:
+        from repro.threshold.montecarlo import code_capacity_memory
+
+        return code_capacity_memory(code, eps, rounds, shots, seed)
+    specs = _build_specs("capacity", (code, eps, rounds), shots, seed, num_shards)
+    return _pooled_result(_execute(specs, workers), rounds)

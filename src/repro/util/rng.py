@@ -13,15 +13,19 @@ import numpy as np
 __all__ = ["as_rng"]
 
 
-def as_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+def as_rng(
+    seed: int | np.random.Generator | np.random.SeedSequence | None = None,
+) -> np.random.Generator:
     """Coerce ``seed`` into a :class:`numpy.random.Generator`.
 
     Parameters
     ----------
     seed:
-        ``None`` for OS entropy, an ``int`` for a seeded PCG64 stream, or an
-        existing generator (returned unchanged so that callers can share one
-        stream across sub-experiments).
+        ``None`` for OS entropy, an ``int`` for a seeded PCG64 stream, a
+        :class:`numpy.random.SeedSequence` (how the sharded driver and grid
+        scans hand out independent child streams), or an existing generator
+        (returned unchanged so that callers can share one stream across
+        sub-experiments).
     """
     if isinstance(seed, np.random.Generator):
         return seed

@@ -64,9 +64,15 @@ def fit_power_law(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
 
 def logical_error_per_round(p_total: float, rounds: int) -> float:
     """Convert a cumulative failure probability over ``rounds`` repetitions
-    into a per-round rate, inverting ``p_total = 1 - (1 - p)**rounds``."""
+    into a per-round rate, inverting ``p_total = 1 - (1 - p)**rounds``.
+
+    The single conversion helper every Monte Carlo result goes through
+    (:mod:`repro.threshold.montecarlo`, :mod:`repro.core.memory`);
+    ``p_total = 1.0`` maps to a per-round rate of exactly 1.0 rather than
+    raising or being clamped inconsistently at call sites.
+    """
     if rounds <= 0:
         raise ValueError("rounds must be positive")
-    if not 0.0 <= p_total < 1.0:
-        raise ValueError("p_total must lie in [0, 1)")
+    if not 0.0 <= p_total <= 1.0:
+        raise ValueError("p_total must lie in [0, 1]")
     return 1.0 - (1.0 - p_total) ** (1.0 / rounds)

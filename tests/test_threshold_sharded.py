@@ -1,0 +1,365 @@
+"""Sharded Monte Carlo driver: parity, determinism, and the RNG/crossing
+and per-round-conversion fixes that rode along with it.
+
+The contract under test (see ``repro/threshold/sharded.py``):
+
+* ``workers=1`` with no explicit shard count is the unsharded path and
+  reproduces the single-process results bit-for-bit;
+* the shard plan and per-shard ``SeedSequence`` children depend only on
+  ``(seed, shots, num_shards)``, so pooled counts are identical for any
+  worker count — in-process serial execution included;
+* pooled Wilson bounds equal ``binomial_confidence`` on the pooled counts.
+"""
+
+import json
+import math
+import pickle
+import sys
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+from repro.codes import SteaneCode
+from repro.ft import ShorECProtocol, SteaneECProtocol
+from repro.noise import circuit_level
+from repro.threshold import (
+    PseudoThresholdNotBracketed,
+    PseudoThresholdWarning,
+    code_capacity_memory,
+    crossing_from_curve,
+    memory_experiment,
+    pseudo_threshold,
+    sharded_memory_experiment,
+    shard_sizes,
+    spawn_shard_seeds,
+)
+from repro.util.stats import binomial_confidence, logical_error_per_round
+
+
+@pytest.fixture(scope="module")
+def code():
+    return SteaneCode()
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return SteaneECProtocol(circuit_level(2e-3))
+
+
+class TestShardPlan:
+    def test_sizes_cover_shots_without_empty_shards(self):
+        for shots, n in [(10, 3), (64, 16), (1000, 16), (5, 16), (1, 1)]:
+            sizes = shard_sizes(shots, n)
+            assert sum(sizes) == shots
+            assert all(s >= 1 for s in sizes)
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_plan_independent_of_workers(self):
+        # The plan takes no worker count at all — determinism by design.
+        assert shard_sizes(1000, 4) == [250, 250, 250, 250]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            shard_sizes(0, 4)
+        with pytest.raises(ValueError):
+            shard_sizes(100, 0)
+
+    def test_seed_spawning_rejects_generators(self):
+        with pytest.raises(TypeError):
+            spawn_shard_seeds(np.random.default_rng(0), 4)
+
+    def test_caller_seed_sequence_not_mutated(self):
+        """Spawning must not advance the caller's SeedSequence: repeated
+        sharded runs with the same sequence object get the same children."""
+        ss = np.random.SeedSequence(7)
+        first = spawn_shard_seeds(ss, 3)
+        second = spawn_shard_seeds(ss, 3)
+        assert ss.n_children_spawned == 0
+        for a, b in zip(first, second):
+            assert np.array_equal(
+                np.random.default_rng(a).random(4), np.random.default_rng(b).random(4)
+            )
+
+    def test_no_collision_with_caller_spawned_children(self):
+        """Shard streams live under a reserved spawn-key branch, so they
+        never duplicate children the caller spawns from the same root."""
+        root = np.random.SeedSequence(42)
+        theirs = root.spawn(3)
+        ours = spawn_shard_seeds(root, 3)
+        their_draws = [np.random.default_rng(c).random(4) for c in theirs]
+        our_draws = [np.random.default_rng(c).random(4) for c in ours]
+        for td in their_draws:
+            for od in our_draws:
+                assert not np.array_equal(td, od)
+
+    def test_more_workers_than_shards_warns(self, code):
+        with pytest.warns(UserWarning, match="capped at the shard count"):
+            sharded_memory_experiment(
+                SteaneECProtocol(circuit_level(1e-2)), code,
+                rounds=1, shots=200, seed=0, workers=3, num_shards=2,
+            )
+
+
+class TestSingleProcessParity:
+    def test_workers1_bit_for_bit(self, code, protocol):
+        """The acceptance criterion: workers=1 sharded == unsharded."""
+        base = memory_experiment(protocol, code, rounds=2, shots=2000, seed=7)
+        via_driver = sharded_memory_experiment(
+            protocol, code, rounds=2, shots=2000, seed=7, workers=1
+        )
+        assert via_driver == base
+
+    def test_serial_shards_match_manual_pooling(self, code, protocol):
+        """Pooled counts == sum of per-shard runs with the spawned seeds."""
+        shots, num_shards = 3000, 3
+        pooled = sharded_memory_experiment(
+            protocol, code, rounds=1, shots=shots, seed=11, workers=1,
+            num_shards=num_shards,
+        )
+        sizes = shard_sizes(shots, num_shards)
+        seeds = spawn_shard_seeds(11, num_shards)
+        manual = [
+            memory_experiment(protocol, code, rounds=1, shots=s, seed=ss)
+            for s, ss in zip(sizes, seeds)
+        ]
+        assert pooled.shots == shots
+        assert pooled.failures == sum(r.failures for r in manual)
+        est, low, high = binomial_confidence(pooled.failures, shots)
+        assert (pooled.failure_rate, pooled.low, pooled.high) == (est, low, high)
+        assert pooled.per_round_rate == logical_error_per_round(est, 1)
+
+
+class TestMultiprocessParity:
+    def test_deterministic_across_worker_counts(self, code, protocol):
+        """Fixed (seed, shots, num_shards) → identical results for any
+        worker count, including in-process serial execution."""
+        kwargs = dict(rounds=1, shots=1500, seed=3, num_shards=4)
+        serial = memory_experiment(protocol, code, workers=1, **kwargs)
+        two = memory_experiment(protocol, code, workers=2, **kwargs)
+        three = memory_experiment(protocol, code, workers=3, **kwargs)
+        assert serial == two == three
+
+    def test_multiworker_agrees_with_single_process_statistics(self, code, protocol):
+        """Different stream partitions, same physics: Wilson intervals of
+        the sharded and unsharded estimates overlap."""
+        single = memory_experiment(protocol, code, rounds=1, shots=4000, seed=5)
+        sharded = memory_experiment(
+            protocol, code, rounds=1, shots=4000, seed=5, workers=2
+        )
+        assert sharded.shots == single.shots
+        assert max(single.low, sharded.low) <= min(single.high, sharded.high)
+
+    def test_code_capacity_sharded(self, code):
+        kwargs = dict(eps=5e-3, rounds=2, shots=4000, seed=9, num_shards=4)
+        serial = code_capacity_memory(code, workers=1, **kwargs)
+        pooled = code_capacity_memory(code, workers=2, **kwargs)
+        assert pooled == serial
+        assert pooled.shots == 4000
+
+    def test_shor_protocol_crosses_process_boundary(self, code):
+        """ShorECProtocol carries Pauli objects, whose slots-immutability
+        guard used to break unpickling in the worker processes."""
+        protocol = ShorECProtocol(code, circuit_level(1e-3))
+        restored = pickle.loads(pickle.dumps(protocol))
+        assert restored.code.n == code.n
+        result = memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=1, workers=2, num_shards=2
+        )
+        assert result.shots == 600
+
+
+class TestGridSeedStreams:
+    def test_adjacent_root_seeds_do_not_share_streams(self):
+        """Regression for the seed+i collision: grid point i of root seed s
+        must not reuse the stream of point i-1 of root seed s+1."""
+        children_0 = spawn_shard_seeds(0, 3)
+        children_1 = spawn_shard_seeds(1, 3)
+        draws_0 = [np.random.default_rng(c).random(8) for c in children_0]
+        draws_1 = [np.random.default_rng(c).random(8) for c in children_1]
+        for i in range(1, 3):
+            assert not np.array_equal(draws_0[i], draws_1[i - 1])
+        # And points within one scan stay mutually independent streams.
+        assert not np.array_equal(draws_0[0], draws_0[1])
+
+    def test_fit_scans_with_adjacent_seeds_decorrelated(self, code):
+        """End-to-end: the shifted-grid overlap of seed s vs seed s+1 scans
+        (exact under the old seed+i scheme) is gone."""
+        grid = np.array([1e-3, 2e-3, 4e-3])
+        factory = lambda eps: SteaneECProtocol(circuit_level(eps))  # noqa: E731
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PseudoThresholdWarning)
+            _, curve_a = pseudo_threshold(factory, code, grid, shots=4000, seed=0)
+            _, curve_b = pseudo_threshold(factory, code, grid, shots=4000, seed=1)
+        # Old bug: seed 0's point i used stream seed 0+i == seed 1's point
+        # i-1, so the overlapping sub-curves were *exactly* equal.  With
+        # spawned child streams they are independent samples.
+        overlap_a = [curve_a[i][1] for i in (1, 2)]
+        overlap_b = [curve_b[i][1] for i in (0, 1)]
+        assert overlap_a != overlap_b
+
+
+class TestCrossingDetection:
+    def test_exact_grid_point_crossing(self):
+        """Regression: f1 == 0 used to be skipped, and the following pair
+        could no longer bracket — the crossing came back NaN."""
+        curve = [(1e-4, 5e-5), (2e-4, 2e-4), (4e-4, 9e-4)]
+        assert crossing_from_curve(curve) == 2e-4
+
+    def test_interpolated_crossing_unchanged(self):
+        curve = [(1e-4, 5e-5), (4e-4, 8e-4)]
+        crossing = crossing_from_curve(curve)
+        assert 1e-4 < crossing < 4e-4
+        # Same log-linear interpolation as before the fix.
+        f1, f2 = 5e-5 - 1e-4, 8e-4 - 4e-4
+        t = f1 / (f1 - f2)
+        expected = math.exp(math.log(1e-4) + t * (math.log(4e-4) - math.log(1e-4)))
+        assert crossing == pytest.approx(expected)
+
+    def test_never_bracketing_curve_is_nan(self):
+        assert math.isnan(crossing_from_curve([(1e-4, 2e-4), (2e-4, 5e-4)]))
+
+    def test_lucky_touch_in_all_above_curve_is_not_a_crossing(self):
+        """p == eps by Monte Carlo luck inside a curve that never dips
+        below is not a pseudo-threshold."""
+        assert math.isnan(
+            crossing_from_curve([(1e-4, 2e-4), (2e-4, 2e-4), (4e-4, 9e-4)])
+        )
+
+    def test_exact_touch_at_first_grid_point(self):
+        """A grid starting exactly on the threshold still reports it."""
+        assert crossing_from_curve([(2e-4, 2e-4), (4e-4, 9e-4)]) == 2e-4
+
+    def test_unbracketed_grid_warns_with_curve(self, code):
+        factory = lambda eps: SteaneECProtocol(circuit_level(eps))  # noqa: E731
+        grid = np.array([5e-3, 1e-2])  # far above threshold: p > eps
+        with pytest.warns(PseudoThresholdWarning):
+            crossing, curve = pseudo_threshold(
+                factory, code, grid, shots=400, seed=4
+            )
+        assert math.isnan(crossing)
+        assert len(curve) == 2
+
+    def test_unbracketed_grid_raises_with_curve(self, code):
+        factory = lambda eps: SteaneECProtocol(circuit_level(eps))  # noqa: E731
+        grid = np.array([5e-3, 1e-2])
+        with pytest.raises(PseudoThresholdNotBracketed) as excinfo:
+            pseudo_threshold(
+                factory, code, grid, shots=400, seed=4, on_unbracketed="raise"
+            )
+        assert len(excinfo.value.curve) == 2
+
+    def test_bracketing_grid_does_not_warn(self, code):
+        factory = lambda eps: SteaneECProtocol(circuit_level(eps))  # noqa: E731
+        grid = np.array([1e-4, 3e-3])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PseudoThresholdWarning)
+            crossing, _ = pseudo_threshold(factory, code, grid, shots=4000, seed=6)
+        assert not math.isnan(crossing)
+
+
+class TestPerRoundConversion:
+    def test_p_total_one_maps_to_one(self):
+        assert logical_error_per_round(1.0, 5) == 1.0
+
+    def test_endpoints_and_monotonicity(self):
+        assert logical_error_per_round(0.0, 3) == 0.0
+        rates = [logical_error_per_round(p, 3) for p in (0.1, 0.5, 0.9, 1.0)]
+        assert rates == sorted(rates)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            logical_error_per_round(1.5, 3)
+        with pytest.raises(ValueError):
+            logical_error_per_round(0.5, 0)
+
+    def test_memory_results_route_through_helper(self, code, protocol):
+        result = memory_experiment(protocol, code, rounds=3, shots=1000, seed=2)
+        assert result.per_round_rate == logical_error_per_round(
+            result.failure_rate, 3
+        )
+        capacity = code_capacity_memory(code, 1e-2, rounds=2, shots=1000, seed=2)
+        assert capacity.per_round_rate == logical_error_per_round(
+            capacity.failure_rate, 2
+        )
+
+
+class TestBenchGuard:
+    """Like-for-like guard semantics of scripts/bench_perf.py (pure
+    record-comparison functions; nothing is measured here)."""
+
+    @staticmethod
+    def _record(rate=4e6, shots=10_000, rounds=10, sharded=None):
+        record = {
+            "config": {"shots": shots, "rounds": rounds, "noise": "circuit_level(0.001)"},
+            "compiled": {"shot_rounds_per_sec": rate},
+        }
+        if sharded is not None:
+            record["sharded"] = sharded
+        return record
+
+    def test_same_protocol_regression_detected(self):
+        from bench_perf import check_regression
+
+        assert check_regression(self._record(rate=1e6), self._record(rate=4e6))
+        assert check_regression(self._record(rate=4e6), self._record(rate=4e6)) is None
+
+    def test_different_protocol_compares_nothing(self):
+        from bench_perf import check_regression
+
+        quick = self._record(rate=1e6, shots=2000, rounds=3)
+        assert check_regression(quick, self._record(rate=4e6)) is None
+
+    def test_sharded_compared_only_at_matching_workers(self):
+        from bench_perf import check_regression
+
+        old = self._record(sharded={"workers": 2, "shot_rounds_per_sec": 8e6})
+        regressed = self._record(sharded={"workers": 2, "shot_rounds_per_sec": 1e6})
+        other_workers = self._record(sharded={"workers": 4, "shot_rounds_per_sec": 1e6})
+        assert check_regression(regressed, old)
+        assert check_regression(other_workers, old) is None
+
+    def test_write_refuses_protocol_mismatch(self, tmp_path):
+        from bench_perf import write_guarded
+
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(self._record()))
+        assert write_guarded(self._record(shots=2000, rounds=3), path) == 2
+
+    def test_write_carries_sharded_baseline_forward(self, tmp_path):
+        from bench_perf import write_guarded
+
+        path = tmp_path / "bench.json"
+        sharded = {"workers": 2, "shot_rounds_per_sec": 8e6}
+        path.write_text(json.dumps(self._record(sharded=sharded)))
+        assert write_guarded(self._record(), path) == 0
+        assert json.loads(path.read_text())["sharded"] == {
+            **sharded, "carried_forward": True
+        }
+
+    def test_write_refuses_sharded_worker_mismatch(self, tmp_path):
+        from bench_perf import write_guarded
+
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps(self._record(sharded={"workers": 2, "shot_rounds_per_sec": 8e6}))
+        )
+        mismatched = self._record(sharded={"workers": 4, "shot_rounds_per_sec": 8e6})
+        assert write_guarded(mismatched, path) == 2
+        # --force replaces the sharded baseline deliberately.
+        assert write_guarded(mismatched, path, force=True) == 0
+        assert json.loads(path.read_text())["sharded"]["workers"] == 4
+
+    def test_write_does_not_mutate_caller_record(self, tmp_path):
+        from bench_perf import write_guarded
+
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps(self._record(sharded={"workers": 2, "shot_rounds_per_sec": 8e6}))
+        )
+        record = self._record()
+        assert write_guarded(record, path) == 0
+        assert "sharded" not in record  # carried forward only in the file
