@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import socket
 import sys
 import time
 from pathlib import Path
@@ -116,6 +117,7 @@ def run_benchmark(
             "seed": seed,
             "workers": workers,
             "cpu_count": os.cpu_count(),
+            "hostname": socket.gethostname(),
         },
         "legacy": legacy,
         "compiled": compiled,
@@ -159,9 +161,23 @@ def check_regression(new: dict, old: dict) -> str | None:
     full-size baseline) compare nothing, the single-process ``compiled``
     entries are always compared for same-protocol records, and ``sharded``
     entries only when both records carry one with the same ``workers`` — a
-    multi-core datapoint can never mask a single-core regression.
+    multi-core datapoint can never mask a single-core regression.  A
+    baseline recorded on a host with a *different core count* compares
+    nothing either: throughput across unlike hardware says nothing about
+    the code (the recorded 1-cpu 0.85x sharded datapoint must not poison
+    comparisons once the bench runs on multi-core hardware).
     """
     if _protocol_key(new) != _protocol_key(old):
+        return None
+    new_cpus = new.get("config", {}).get("cpu_count")
+    old_cpus = old.get("config", {}).get("cpu_count")
+    if new_cpus != old_cpus:
+        print(
+            f"note: baseline was recorded on a {old_cpus}-cpu host, this run "
+            f"on {new_cpus} cpus — skipping the regression guard "
+            f"(not like-for-like hardware)",
+            file=sys.stderr,
+        )
         return None
     err = _rate_regression(new.get("compiled", {}), old.get("compiled", {}), "compiled")
     if err:

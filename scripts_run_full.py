@@ -1,29 +1,47 @@
 """Run every experiment at full statistics and dump JSON for EXPERIMENTS.md.
 
-Exit status is meaningful for CI: non-zero when any experiment raises, and
+Exit status is meaningful for CI: non-zero when any experiment raises,
 ``--bench`` runs the perf harness (``scripts/bench_perf.py``), refusing to
-overwrite ``BENCH_*.json`` on a >20% throughput regression.
+overwrite ``BENCH_*.json`` on a >20% throughput regression, and ``--tests``
+runs the tier-1 pytest suite (with the per-test watchdog from
+``tests/conftest.py`` active, so an injected hang can never wedge it;
+``--tests --quick`` skips the ``slow_mp`` multiprocess/chaos tests).
+
+Resilience: Monte Carlo experiments run on the crash-safe sharded runtime
+(`repro.threshold.runtime`).  ``--checkpoint PATH`` journals every finished
+shard into a sqlite file keyed by content-addressed run keys, and
+``--resume`` replays finished shards after a crash or Ctrl-C, re-executing
+only the remainder; ``--shard-timeout`` / ``--max-retries`` bound hung and
+failing workers.
 """
 
 import argparse
+import inspect
 import json
+import os
+import subprocess
 import sys
 import time
 import traceback
 from pathlib import Path
 
+REPO_ROOT = Path(__file__).resolve().parent
+DEFAULT_CHECKPOINT = str(REPO_ROOT / "full_results.checkpoint.sqlite")
 
-def run_experiments(output_path: str, workers: int = 1) -> int:
-    import inspect
 
+def run_experiments(output_path: str, workers: int = 1, **resilience) -> int:
     from repro.experiments import ALL_EXPERIMENTS
 
     results = {}
     failed = []
     for name, runner in ALL_EXPERIMENTS.items():
+        params = inspect.signature(runner).parameters
         kwargs = {"quick": False}
-        if workers != 1 and "workers" in inspect.signature(runner).parameters:
+        if workers != 1 and "workers" in params:
             kwargs["workers"] = workers
+        for knob, value in resilience.items():
+            if value is not None and knob in params:
+                kwargs[knob] = value
         t0 = time.time()
         try:
             results[name] = runner(**kwargs)
@@ -44,7 +62,7 @@ def run_experiments(output_path: str, workers: int = 1) -> int:
 
 
 def run_bench(quick: bool, workers: int = 1) -> int:
-    sys.path.insert(0, str(Path(__file__).resolve().parent / "scripts"))
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
     from bench_perf import main as bench_main
 
     # Quick runs are smoke runs only: CI-sized rates are overhead-dominated
@@ -58,6 +76,21 @@ def run_bench(quick: bool, workers: int = 1) -> int:
     return bench_main(argv)
 
 
+def run_tests(quick: bool) -> int:
+    """Tier-1 suite under the per-test watchdog (tests/conftest.py): a
+    hung multiprocess test raises instead of wedging the run.  ``--quick``
+    deselects the ``slow_mp``-marked multiprocess/chaos tests."""
+    cmd = [sys.executable, "-m", "pytest", "-x", "-q"]
+    if quick:
+        cmd += ["-m", "not slow_mp"]
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.call(cmd, cwd=str(REPO_ROOT), env=env)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -65,7 +98,12 @@ def main() -> int:
         help="run the perf harness instead of the experiments (guarded "
         "BENCH_*.json update: a >20%% regression refuses to overwrite)",
     )
-    parser.add_argument("--quick", action="store_true", help="CI-sized bench run")
+    parser.add_argument(
+        "--tests", action="store_true",
+        help="run the tier-1 pytest suite under the per-test watchdog "
+        "(--quick skips slow_mp multiprocess/chaos tests)",
+    )
+    parser.add_argument("--quick", action="store_true", help="CI-sized bench/tests run")
     parser.add_argument(
         "--workers", type=int, default=1,
         help="shot-shard Monte Carlo workloads across this many worker "
@@ -73,13 +111,47 @@ def main() -> int:
         "datapoint)",
     )
     parser.add_argument(
-        "--out", default="/root/repo/full_results.json",
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal finished Monte Carlo shards into this sqlite file "
+        "(crash-safe; implied by --resume at "
+        f"{Path(DEFAULT_CHECKPOINT).name})",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay shards already recorded in the checkpoint journal and "
+        "re-execute only the remainder (run keys are content-addressed, so "
+        "a stale journal can never corrupt results)",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="declare a Monte Carlo shard hung after this long and replace "
+        "its worker (default: no timeout)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="re-executions allowed per failing shard before it degrades "
+        "to in-process execution (default 2)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "full_results.json"),
         help="experiments output JSON (the bench always writes BENCH_*.json)",
     )
     args = parser.parse_args()
     if args.bench:
         return run_bench(args.quick, args.workers)
-    return run_experiments(args.out, args.workers)
+    if args.tests:
+        return run_tests(args.quick)
+    checkpoint = args.checkpoint
+    if args.resume and checkpoint is None:
+        checkpoint = DEFAULT_CHECKPOINT
+    return run_experiments(
+        args.out,
+        args.workers,
+        checkpoint=checkpoint,
+        resume=args.resume if checkpoint is not None else None,
+        shard_timeout=args.shard_timeout,
+        max_retries=args.max_retries,
+    )
 
 
 if __name__ == "__main__":

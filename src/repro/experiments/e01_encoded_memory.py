@@ -18,7 +18,26 @@ from repro.util.stats import fit_power_law
 __all__ = ["run"]
 
 
-def run(quick: bool = False, workers: int = 1) -> dict:
+def run(
+    quick: bool = False,
+    workers: int = 1,
+    checkpoint=None,
+    resume: bool = True,
+    shard_timeout: float | None = None,
+    max_retries: int | None = None,
+) -> dict:
+    """``checkpoint``/``resume`` journal each grid point's shards under its
+    own content-addressed run key (the per-point seed is spawned, hence
+    distinct), so a killed sweep resumes mid-grid; ``shard_timeout`` /
+    ``max_retries`` bound hung and failing workers.  All four thread into
+    :func:`repro.threshold.sharded.sharded_code_capacity_memory`."""
+    resilience = {}
+    if checkpoint is not None:
+        resilience = {"checkpoint": checkpoint, "resume": resume}
+    if shard_timeout is not None:
+        resilience["shard_timeout"] = shard_timeout
+    if max_retries is not None:
+        resilience["max_retries"] = max_retries
     code = SteaneCode()
     eps_grid = np.array([3e-4, 1e-3, 3e-3, 1e-2, 3e-2])
     shots = 20_000 if quick else 400_000
@@ -28,7 +47,7 @@ def run(quick: bool = False, workers: int = 1) -> dict:
     for i, eps in enumerate(eps_grid):
         encoded = code_capacity_memory(
             code, float(eps), rounds=1, shots=shots, seed=encoded_seeds[i],
-            workers=workers,
+            workers=workers, **resilience,
         )
         bare = UnencodedMemory(float(eps)).run(1, shots, seed=bare_seeds[i])
         rows.append(

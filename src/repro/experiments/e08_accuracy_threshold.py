@@ -26,7 +26,25 @@ from repro.threshold.counting import FullSteaneRound
 __all__ = ["run"]
 
 
-def run(quick: bool = False, workers: int = 1) -> dict:
+def run(
+    quick: bool = False,
+    workers: int = 1,
+    checkpoint=None,
+    resume: bool = True,
+    shard_timeout: float | None = None,
+    max_retries: int | None = None,
+) -> dict:
+    """Resilience knobs thread into the Monte Carlo scan: with
+    ``checkpoint`` set, each grid point journals under its own
+    content-addressed run key (the protocol embeds ε), so a killed scan
+    resumes mid-grid re-executing only unfinished shards."""
+    resilience = {}
+    if checkpoint is not None:
+        resilience = {"checkpoint": checkpoint, "resume": resume}
+    if shard_timeout is not None:
+        resilience["shard_timeout"] = shard_timeout
+    if max_retries is not None:
+        resilience["max_retries"] = max_retries
     report = count_fault_paths(FullSteaneRound())
     eps0_counting = threshold_from_counting(report)
 
@@ -39,6 +57,7 @@ def run(quick: bool = False, workers: int = 1) -> dict:
         shots=shots,
         seed=8,
         workers=workers,
+        **resilience,
     )
     return {
         "experiment": "E08",

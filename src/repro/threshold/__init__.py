@@ -47,6 +47,18 @@ from repro.threshold.sharded import (
     shard_sizes,
     spawn_shard_seeds,
 )
+from repro.threshold.runtime import (
+    ResilienceOptions,
+    RunDegraded,
+    ShardRetryExhausted,
+    ShardTimeout,
+)
+from repro.threshold.chaos import ChaosError, ChaosPlan
+from repro.threshold.journal import (
+    CheckpointJournal,
+    JournalMismatch,
+    compute_run_key,
+)
 from repro.threshold.resources import (
     FactoringProblem,
     FactoringPlan,
@@ -80,6 +92,15 @@ __all__ = [
     "sharded_memory_experiment",
     "shard_sizes",
     "spawn_shard_seeds",
+    "ResilienceOptions",
+    "RunDegraded",
+    "ShardRetryExhausted",
+    "ShardTimeout",
+    "ChaosError",
+    "ChaosPlan",
+    "CheckpointJournal",
+    "JournalMismatch",
+    "compute_run_key",
     "FactoringProblem",
     "FactoringPlan",
     "plan_factoring",

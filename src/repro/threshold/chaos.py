@@ -1,0 +1,123 @@
+"""Deterministic fault injection for the resilient shard runtime.
+
+The chaos harness exists so that the retry/timeout/checkpoint machinery in
+:mod:`repro.threshold.runtime` is *proven* under fault load instead of
+merely written: tests hand a :class:`ChaosPlan` to any sharded entry point
+and the worker wrapper injects the planned fault for the planned shard
+index on the planned attempts — nothing is random, so every chaos test is
+exactly reproducible.
+
+Fault kinds
+-----------
+``"crash"``
+    The worker process calls ``os._exit`` mid-shard, which breaks the
+    whole ``ProcessPoolExecutor`` (``BrokenProcessPool``) — the hardest
+    fault the runtime must survive.
+``"hang"``
+    The worker sleeps for ``hang_seconds`` before running the shard,
+    tripping the per-shard timeout and hung-worker replacement path.
+``"exception"``
+    The worker raises :class:`ChaosError` instead of running the shard —
+    the plain retry path.
+``"unpicklable"``
+    The shard runs *successfully* but its return value refuses to pickle,
+    so the result is lost on the way back — the runtime must re-run the
+    shard (bit-for-bit identical, shards are pure functions of their spec).
+
+Faults are injected for attempts ``1..times`` and vanish afterwards, so a
+plan with ``times <= max_retries`` converges through retries while
+``times > max_retries`` exercises retry exhaustion and in-process
+degradation.
+
+In-process (``workers=1``) execution maps every fault kind to
+:class:`ChaosError`: a real crash or hang would take down the driver
+process itself, but the retry bookkeeping being tested is identical.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ChaosError", "ChaosPlan", "VALID_FAULTS"]
+
+VALID_FAULTS = frozenset({"crash", "hang", "exception", "unpicklable"})
+
+
+class ChaosError(RuntimeError):
+    """Deterministically injected shard failure (never raised outside tests)."""
+
+
+class ChaosPlan:
+    """Picklable per-shard-index fault plan.
+
+    Parameters
+    ----------
+    faults:
+        Mapping of shard index → fault kind (one of :data:`VALID_FAULTS`).
+    times:
+        Inject on attempts ``1..times`` of the afflicted shard; later
+        attempts run clean.  ``times`` larger than the runtime's
+        ``max_retries`` forces exhaustion/degradation.
+    hang_seconds:
+        Sleep length for ``"hang"`` faults — pick it far above the
+        runtime's ``shard_timeout`` so a hang never resolves by luck.
+    """
+
+    def __init__(
+        self,
+        faults: dict[int, str],
+        times: int = 1,
+        hang_seconds: float = 3600.0,
+    ) -> None:
+        bad = {kind for kind in faults.values() if kind not in VALID_FAULTS}
+        if bad:
+            raise ValueError(f"unknown fault kinds {sorted(bad)}; valid: {sorted(VALID_FAULTS)}")
+        if times < 1:
+            raise ValueError("times must be >= 1 (inject on at least the first attempt)")
+        self.faults = {int(i): kind for i, kind in faults.items()}
+        self.times = int(times)
+        self.hang_seconds = float(hang_seconds)
+
+    @classmethod
+    def every(
+        cls,
+        stride: int,
+        fault: str,
+        num_shards: int,
+        times: int = 1,
+        hang_seconds: float = 3600.0,
+    ) -> "ChaosPlan":
+        """Fault every ``stride``-th shard: indices ``0, stride, 2*stride, ...``.
+
+        ``ChaosPlan.every(4, "crash", 16)`` afflicts 25% of a 16-shard run —
+        the fault density the acceptance criteria demand.
+        """
+        if stride < 1:
+            raise ValueError("stride must be positive")
+        return cls(
+            {i: fault for i in range(0, num_shards, stride)},
+            times=times,
+            hang_seconds=hang_seconds,
+        )
+
+    def fault_for(self, shard_index: int, attempt: int) -> str | None:
+        """Fault to inject for this ``(shard_index, attempt)``, or ``None``."""
+        if attempt <= self.times:
+            return self.faults.get(shard_index)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChaosPlan({self.faults!r}, times={self.times}, "
+            f"hang_seconds={self.hang_seconds})"
+        )
+
+
+class _UnpicklableResult:
+    """Return-value poison: pickling it (to send the worker's result back
+    over the result queue) raises, so the driver sees a failed shard even
+    though the shard itself ran to completion."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __reduce__(self):
+        raise TypeError("chaos: deliberately unpicklable shard result")

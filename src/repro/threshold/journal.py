@@ -1,0 +1,189 @@
+"""Crash-safe checkpoint journal for sharded Monte Carlo runs.
+
+Resolving 10⁻⁵–10⁻⁶ logical failure rates means hours-long scans; losing
+every completed shard to one crashed worker (or a Ctrl-C, or an OOM kill)
+is not acceptable.  The journal persists each finished shard's
+``(shots, failures)`` into sqlite the moment it completes — WAL mode, one
+commit per shard, so a hard kill at any instant loses at most the shards
+still in flight — and a restarted run replays finished shards from disk,
+re-executing only the remainder.
+
+Content-addressed run keys
+--------------------------
+A journal row is only replayable if it provably belongs to *this* run, so
+rows are keyed by :func:`compute_run_key`: a SHA-256 over the exact inputs
+the sharded driver makes deterministic — ``(kind, pickled args
+(protocol/code/noise/rounds), shots, seed entropy + spawn key, resolved
+shard count)``.  Because every shard is a pure function of its spec, a
+replayed shard is bit-for-bit what re-executing it would produce; resuming
+is therefore exactly as correct as a clean run.  Any input change — one
+more shot, a different seed, a different noise rate — changes the key and
+the run starts fresh.
+
+``seed=None`` runs draw fresh OS entropy, so their key never matches a
+previous run's: an irreproducible run is (correctly) never resumed.  Pass
+an explicit seed to make a scan resumable.
+
+The same table is deliberately the seed of the ROADMAP's content-addressed
+result cache: a completed run's pooled counts are addressable by run key
+(:meth:`CheckpointJournal.merged_counts`), and two finished runs over the
+same physics with different seeds can later be pooled into one
+higher-shot answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import sqlite3
+import time
+from pathlib import Path
+
+__all__ = ["CheckpointJournal", "JournalMismatch", "compute_run_key"]
+
+# Bump when the key payload layout changes so stale journals never replay
+# into a new layout.
+_KEY_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_key      TEXT PRIMARY KEY,
+    kind         TEXT NOT NULL,
+    shots        INTEGER NOT NULL,
+    num_shards   INTEGER NOT NULL,
+    created_unix REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS shard_results (
+    run_key       TEXT NOT NULL,
+    shard_index   INTEGER NOT NULL,
+    shots         INTEGER NOT NULL,
+    failures      INTEGER NOT NULL,
+    recorded_unix REAL NOT NULL,
+    PRIMARY KEY (run_key, shard_index)
+);
+"""
+
+
+class JournalMismatch(RuntimeError):
+    """A journal row contradicts the run it claims to belong to (shard
+    index out of range or shard size mismatch) — the journal is corrupt or
+    a run-key collision occurred; refusing to resume from it."""
+
+
+def compute_run_key(
+    kind: str,
+    args: tuple,
+    shots: int,
+    seed_fingerprint: tuple,
+    num_shards: int,
+) -> str:
+    """Content-addressed key over everything that determines the pooled counts.
+
+    ``args`` is the exact payload shipped to workers (protocol/code/noise/
+    rounds), hashed via its pickle bytes — the same bytes whose
+    picklability PR 5 already guarantees.  ``seed_fingerprint`` is the
+    normalized ``(entropy, spawn_key)`` identity of the root
+    ``SeedSequence`` (see ``sharded._seed_fingerprint``), and
+    ``num_shards`` is the *resolved* shard count, so the key pins the
+    shard plan itself.
+    """
+    payload = pickle.dumps(
+        (_KEY_VERSION, kind, int(shots), int(num_shards), seed_fingerprint, args),
+        protocol=4,
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
+class CheckpointJournal:
+    """Sqlite/WAL journal of completed shards, one commit per shard.
+
+    Single-writer by construction: only the driver process records
+    results (workers stream counts back over the pool's result queue),
+    so there is no lock contention in the common case; ``timeout=30``
+    covers concurrent *separate* driver processes sharing one journal
+    file, which WAL serializes safely.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._conn = sqlite3.connect(str(self.path), timeout=30.0)
+        self._conn.executescript(_SCHEMA)
+        # WAL keeps readers unblocked during the per-shard commits and
+        # makes a mid-commit kill recoverable; NORMAL sync is durable to
+        # application crash (the case we defend against) without fsync
+        # per shard.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.commit()
+
+    # -- recording -----------------------------------------------------
+    def register_run(
+        self, run_key: str, kind: str, shots: int, num_shards: int
+    ) -> None:
+        """Idempotently note the run's shape (introspection / cache seed)."""
+        self._conn.execute(
+            "INSERT OR IGNORE INTO runs (run_key, kind, shots, num_shards, "
+            "created_unix) VALUES (?, ?, ?, ?, ?)",
+            (run_key, kind, int(shots), int(num_shards), time.time()),
+        )
+        self._conn.commit()
+
+    def record_shard(
+        self, run_key: str, shard_index: int, shots: int, failures: int
+    ) -> None:
+        """Persist one finished shard — committed immediately (crash-safe)."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO shard_results "
+            "(run_key, shard_index, shots, failures, recorded_unix) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (run_key, int(shard_index), int(shots), int(failures), time.time()),
+        )
+        self._conn.commit()
+
+    # -- replay --------------------------------------------------------
+    def completed_shards(self, run_key: str) -> dict[int, tuple[int, int]]:
+        """``{shard_index: (shots, failures)}`` recorded for this run."""
+        rows = self._conn.execute(
+            "SELECT shard_index, shots, failures FROM shard_results "
+            "WHERE run_key = ?",
+            (run_key,),
+        ).fetchall()
+        return {int(i): (int(s), int(f)) for i, s, f in rows}
+
+    def merged_counts(self, run_key: str) -> tuple[int, int]:
+        """Pooled ``(shots, failures)`` over every recorded shard — the
+        content-addressed result-cache read path."""
+        row = self._conn.execute(
+            "SELECT COALESCE(SUM(shots), 0), COALESCE(SUM(failures), 0) "
+            "FROM shard_results WHERE run_key = ?",
+            (run_key,),
+        ).fetchone()
+        return int(row[0]), int(row[1])
+
+    def clear_run(self, run_key: str) -> None:
+        """Drop a run's shards (``resume=False`` starts it from scratch)."""
+        self._conn.execute(
+            "DELETE FROM shard_results WHERE run_key = ?", (run_key,)
+        )
+        self._conn.execute("DELETE FROM runs WHERE run_key = ?", (run_key,))
+        self._conn.commit()
+
+    def runs(self) -> list[tuple[str, str, int, int]]:
+        """All registered runs as ``(run_key, kind, shots, num_shards)``."""
+        return [
+            (k, kind, int(s), int(n))
+            for k, kind, s, n in self._conn.execute(
+                "SELECT run_key, kind, shots, num_shards FROM runs "
+                "ORDER BY created_unix"
+            )
+        ]
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -74,6 +74,17 @@ class PseudoThresholdNotBracketed(RuntimeError):
         self.curve = curve
 
 
+def _wants_sharded(resilience: dict) -> bool:
+    """Checkpoint journaling and chaos injection only exist on the sharded
+    driver, so either knob routes a ``workers=1`` call through it (other
+    resilience knobs are no-ops without sharding — a serial unsharded run
+    has nothing to retry)."""
+    return (
+        resilience.get("checkpoint") is not None
+        or resilience.get("chaos") is not None
+    )
+
+
 def _finalize(code: StabilizerCode, fx: np.ndarray, fz: np.ndarray, rounds: int) -> MemoryResult:
     cfx, cfz = code.correct_frame(fx, fz)
     action = code.logical_action_of_frame(cfx, cfz)
@@ -93,18 +104,25 @@ def code_capacity_memory(
     seed: int | np.random.Generator | np.random.SeedSequence | None = None,
     workers: int = 1,
     num_shards: int | None = None,
+    **resilience,
 ) -> MemoryResult:
     """§2's setting: storage depolarizing noise + *flawless* recovery.
 
     Each round every qubit depolarizes with probability ε, then an ideal
     decoder corrects; failure = accumulated logical action.  Reproduces the
     F = 1 − O(ε²) claim (Eq. 14) against the unencoded 1 − ε baseline.
+
+    ``**resilience`` (``max_retries``, ``shard_timeout``, ``checkpoint``,
+    ``resume``, ...) is forwarded to the sharded driver; passing
+    ``checkpoint`` or ``chaos`` routes through it even at ``workers=1``
+    (in-process sharded execution — journaling needs a shard plan).
     """
-    if workers != 1 or num_shards is not None:
+    if workers != 1 or num_shards is not None or _wants_sharded(resilience):
         from repro.threshold.sharded import sharded_code_capacity_memory
 
         return sharded_code_capacity_memory(
-            code, eps, rounds, shots, seed, workers=workers, num_shards=num_shards
+            code, eps, rounds, shots, seed, workers=workers,
+            num_shards=num_shards, **resilience,
         )
     rng = as_rng(seed)
     n = code.n
@@ -140,6 +158,7 @@ def memory_experiment(
     seed: int | np.random.Generator | np.random.SeedSequence | None = None,
     workers: int = 1,
     num_shards: int | None = None,
+    **resilience,
 ) -> MemoryResult:
     """Circuit-level memory: ``rounds`` noisy EC rounds, then ideal decode.
 
@@ -152,12 +171,16 @@ def memory_experiment(
 
     ``workers>1`` (or an explicit ``num_shards``) shards the shots across
     processes; see :func:`repro.threshold.sharded.sharded_memory_experiment`.
+    ``**resilience`` (``max_retries``, ``shard_timeout``, ``checkpoint``,
+    ``resume``, ...) is forwarded to the sharded driver; ``checkpoint`` or
+    ``chaos`` routes through it even at ``workers=1``.
     """
-    if workers != 1 or num_shards is not None:
+    if workers != 1 or num_shards is not None or _wants_sharded(resilience):
         from repro.threshold.sharded import sharded_memory_experiment
 
         return sharded_memory_experiment(
-            protocol, code, rounds, shots, seed, workers=workers, num_shards=num_shards
+            protocol, code, rounds, shots, seed, workers=workers,
+            num_shards=num_shards, **resilience,
         )
     rng = as_rng(seed)
     if getattr(protocol, "engine", None) == "compiled" and hasattr(
@@ -192,18 +215,25 @@ def fit_level1_coefficient(
     shots: int = 20_000,
     seed: int = 0,
     workers: int = 1,
+    num_shards: int | None = None,
+    **resilience,
 ) -> tuple[float, float]:
     """Fit p_round = A·ε^k on a grid of physical rates.
 
     Returns ``(A, k)``; fault tolerance demands k ≈ 2 (Eq. 33's quadratic
     suppression), and 1/A is the level-1 pseudo-threshold estimate.
+
+    ``**resilience`` is forwarded per grid point; with ``checkpoint=`` set,
+    each point journals under its own content-addressed run key (the
+    protocol embeds ε), so a killed scan resumes mid-grid.
     """
     eps_grid = np.asarray(eps_grid, dtype=float)
     rates = []
     for eps, point_seed in zip(eps_grid, _grid_seeds(seed, len(eps_grid))):
         protocol = protocol_factory(float(eps))
         result = memory_experiment(
-            protocol, code, rounds=1, shots=shots, seed=point_seed, workers=workers
+            protocol, code, rounds=1, shots=shots, seed=point_seed,
+            workers=workers, num_shards=num_shards, **resilience,
         )
         rates.append(max(result.failure_rate, 1e-12))
     return fit_power_law(eps_grid, np.asarray(rates))
@@ -249,6 +279,8 @@ def pseudo_threshold(
     seed: int = 0,
     workers: int = 1,
     on_unbracketed: str = "warn",
+    num_shards: int | None = None,
+    **resilience,
 ) -> tuple[float, list[tuple[float, float]]]:
     """Crossing point where the encoded per-round failure equals ε.
 
@@ -259,6 +291,9 @@ def pseudo_threshold(
     :class:`PseudoThresholdWarning` and returns NaN with the curve;
     ``"raise"`` raises :class:`PseudoThresholdNotBracketed` with the curve
     attached.
+
+    ``**resilience`` is forwarded per grid point; with ``checkpoint=`` set,
+    a killed scan resumes mid-grid (each point has its own run key).
     """
     if on_unbracketed not in ("warn", "raise"):
         raise ValueError("on_unbracketed must be 'warn' or 'raise'")
@@ -267,7 +302,8 @@ def pseudo_threshold(
     for eps, point_seed in zip(eps_grid, _grid_seeds(seed, len(eps_grid))):
         protocol = protocol_factory(float(eps))
         result = memory_experiment(
-            protocol, code, rounds=1, shots=shots, seed=point_seed, workers=workers
+            protocol, code, rounds=1, shots=shots, seed=point_seed,
+            workers=workers, num_shards=num_shards, **resilience,
         )
         curve.append((float(eps), max(result.failure_rate, 1e-12)))
     crossing = crossing_from_curve(curve)

@@ -1,0 +1,548 @@
+"""Resilient execution layer for the sharded Monte Carlo driver.
+
+PR 5's ``pool.map`` was all-or-nothing: one crashed, hung, or OOM-killed
+worker threw ``BrokenProcessPool`` through the whole scan and discarded
+every completed shard.  This module replaces it with per-shard ``submit``
++ completion supervision:
+
+* **per-shard timeouts** — a shard running longer than ``shard_timeout``
+  is declared hung; the pool (which cannot cancel a running future) is
+  killed and rebuilt, and the shard retries;
+* **bounded retry with exponential backoff** — failed shards retry up to
+  ``max_retries`` times; pool rebuilds back off exponentially
+  (``backoff * 2**k``, capped) so a crash-looping environment is not
+  hammered;
+* **pool replacement on ``BrokenProcessPool``** — a dead worker evicts
+  and replaces the cached executor instead of poisoning every later call;
+* **graceful degradation** — a shard that keeps failing in workers (or a
+  pool that cannot be rebuilt) runs in-process: the run finishes correct,
+  with a :class:`RunDegraded` warning, and never loses completed work;
+* **a structured exception taxonomy** — :class:`ShardTimeout`,
+  :class:`ShardRetryExhausted` (with the last underlying error attached)
+  replace bare pool errors;
+* **checkpoint journaling** — with ``checkpoint=`` set, every finished
+  shard streams into :class:`repro.threshold.journal.CheckpointJournal`
+  and ``resume=True`` replays finished shards from disk, re-executing
+  only the remainder.
+
+Correctness under all of this is free: each shard is a pure function of
+its ``(kind, args, shard_shots, SeedSequence)`` spec, so a retried,
+degraded, or resumed shard returns bit-for-bit the counts a clean run
+would have — the chaos suite (``tests/test_threshold_runtime.py``)
+asserts exactly that.
+
+Attempt accounting under ``BrokenProcessPool`` is deliberately
+conservative: the executor cannot say *which* running shard killed the
+worker, so every shard that was in flight when the pool broke is charged
+an attempt.  An innocent bystander can therefore exhaust its retries
+under sustained crashing — and then it degrades to in-process execution
+and still finishes correct.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as _fut_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.threshold.chaos import ChaosError, ChaosPlan, _UnpicklableResult
+from repro.threshold.journal import CheckpointJournal, JournalMismatch
+
+__all__ = [
+    "ResilienceOptions",
+    "RunDegraded",
+    "ShardRetryExhausted",
+    "ShardTimeout",
+    "execute_shards",
+]
+
+# Supervision loop granularity: how often hung-worker detection runs and
+# how long one wait() blocks when nothing completes.
+_TICK = 0.05
+# Ceiling on any single backoff sleep so a deep retry chain cannot stall
+# a scan for minutes.
+_BACKOFF_CAP = 5.0
+# Exit code used by chaos "crash" faults (visible in worker diagnostics).
+_CHAOS_EXIT_CODE = 13
+# Budget for reaping workers at interpreter exit / pool replacement.
+_REAP_SECONDS = 2.0
+
+
+# ----------------------------------------------------------------------
+# Exception taxonomy.
+# ----------------------------------------------------------------------
+class ShardTimeout(RuntimeError):
+    """A shard ran longer than ``shard_timeout`` — its worker is presumed
+    hung and the pool is replaced.  Appears as the underlying error of a
+    :class:`ShardRetryExhausted` when a shard hangs every attempt."""
+
+    def __init__(self, shard_index: int, attempt: int, timeout: float) -> None:
+        super().__init__(
+            f"shard {shard_index} exceeded shard_timeout={timeout}s on "
+            f"attempt {attempt}; presuming the worker hung"
+        )
+        self.shard_index = shard_index
+        self.attempt = attempt
+        self.timeout = timeout
+
+
+class ShardRetryExhausted(RuntimeError):
+    """A shard failed every allowed attempt (1 + ``max_retries``).  Raised
+    only when degradation is disabled or the in-process fallback itself
+    fails; carries the last underlying error as ``last_error`` (and as
+    ``__cause__``)."""
+
+    def __init__(self, shard_index: int, attempts: int, last_error: BaseException) -> None:
+        super().__init__(
+            f"shard {shard_index} failed {attempts} attempt(s); "
+            f"last error: {last_error!r}"
+        )
+        self.shard_index = shard_index
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class RunDegraded(UserWarning):
+    """The run finished correct but not as planned: shards fell back to
+    in-process execution after exhausting pool retries (or the pool could
+    not be rebuilt).  Counts are unaffected — shards are pure functions
+    of their specs."""
+
+
+@dataclass(frozen=True)
+class ResilienceOptions:
+    """Knobs for :func:`execute_shards` (all sharded entry points thread
+    these through as keyword arguments).
+
+    ``max_retries`` bounds *re*-executions per shard (total attempts =
+    ``1 + max_retries``).  ``shard_timeout=None`` disables hung-worker
+    detection.  ``backoff`` seeds the exponential retry/rebuild sleep.
+    ``checkpoint`` names the journal database; ``resume=False`` clears any
+    prior rows for this run key first.  ``chaos`` deterministically
+    injects faults (tests only).  ``degrade=False`` turns exhaustion into
+    :class:`ShardRetryExhausted` instead of in-process fallback.
+    """
+
+    max_retries: int = 2
+    shard_timeout: float | None = None
+    backoff: float = 0.1
+    checkpoint: str | Path | None = None
+    resume: bool = True
+    chaos: ChaosPlan | None = None
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive (or None)")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+
+
+# ----------------------------------------------------------------------
+# Worker side.  Module-level so spawn can pickle it by qualified name; the
+# sharded import is deferred to call time (worker process) to keep the
+# sharded -> runtime import edge acyclic.
+# ----------------------------------------------------------------------
+def _guarded_run_shard(payload: tuple) -> tuple[int, int, int]:
+    index, spec, attempt, chaos = payload
+    fault = chaos.fault_for(index, attempt) if chaos is not None else None
+    if fault == "crash":
+        os._exit(_CHAOS_EXIT_CODE)
+    elif fault == "hang":
+        time.sleep(chaos.hang_seconds)
+    elif fault == "exception":
+        raise ChaosError(f"injected exception: shard {index} attempt {attempt}")
+    from repro.threshold.sharded import _run_shard
+
+    shots, failures = _run_shard(spec)
+    if fault == "unpicklable":
+        return _UnpicklableResult((index, shots, failures))  # type: ignore[return-value]
+    return index, shots, failures
+
+
+# ----------------------------------------------------------------------
+# Pool cache.  Spawned pools cost ~0.6 s to start, so they are cached per
+# worker count and reused across calls — a grid scan pays the startup
+# once.  Workers are stateless between shards, so reuse cannot leak state.
+# ----------------------------------------------------------------------
+_pool_cache: dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _pool_cache.get(workers)
+    if pool is not None and getattr(pool, "_broken", False):
+        # A worker died while the pool sat idle in the cache (external
+        # kill, OOM): evict the carcass now instead of letting the next
+        # submit() throw BrokenProcessPool through the caller.
+        _kill_pool(workers)
+        pool = None
+    if pool is None:
+        ctx = multiprocessing.get_context("spawn")
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        _pool_cache[workers] = pool
+    return pool
+
+
+def _reap_processes(procs: list, deadline: float) -> None:
+    """Join workers until ``deadline``; terminate and re-join stragglers."""
+    for proc in procs:
+        proc.join(max(0.0, deadline - time.monotonic()))
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        if proc.is_alive():
+            proc.join(0.2)
+
+
+def _kill_pool(workers: int) -> None:
+    """Evict and tear down the cached pool (hung or broken workers).
+
+    Termination is safe mid-shard: shards are side-effect-free pure
+    functions, and anything killed here is re-executed from its spec.
+    """
+    pool = _pool_cache.pop(workers, None)
+    if pool is None:
+        return
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    _reap_processes(procs, time.monotonic() + _REAP_SECONDS)
+
+
+def _shutdown_pools() -> None:
+    """atexit hook: cancel pending work, then *briefly wait* for workers.
+
+    ``shutdown(wait=False)`` alone can leave spawn workers alive at
+    interpreter teardown, leaking semaphore trackers and emitting
+    ``ResourceWarning``; joining with a small budget (then terminating
+    stragglers) lets them exit cleanly without ever wedging exit on a
+    hung worker.
+    """
+    pools = list(_pool_cache.values())
+    _pool_cache.clear()
+    all_procs = []
+    for pool in pools:
+        all_procs.extend((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+    _reap_processes(all_procs, time.monotonic() + _REAP_SECONDS)
+
+
+atexit.register(_shutdown_pools)
+
+
+# ----------------------------------------------------------------------
+# Driver side.
+# ----------------------------------------------------------------------
+def _run_shard_inprocess(spec: tuple) -> tuple[int, int]:
+    from repro.threshold import sharded as _sharded
+
+    return _sharded._run_shard(spec)
+
+
+def _backoff_sleep(backoff: float, step: int) -> None:
+    if backoff > 0:
+        time.sleep(min(backoff * (2 ** max(step - 1, 0)), _BACKOFF_CAP))
+
+
+def execute_shards(
+    specs: list[tuple],
+    workers: int,
+    options: ResilienceOptions | None = None,
+    run_key: str | None = None,
+) -> list[tuple[int, int]]:
+    """Execute every shard spec, surviving worker faults; returns
+    ``(shots, failures)`` per shard, in shard order.
+
+    ``workers == 1`` executes in-process (with the same retry accounting
+    and journaling).  With ``options.checkpoint`` set, completed shards
+    stream into the journal under ``run_key`` and — when
+    ``options.resume`` — previously recorded shards are replayed from
+    disk instead of re-executed.
+    """
+    opts = options or ResilienceOptions()
+    results: dict[int, tuple[int, int]] = {}
+    pending = list(range(len(specs)))
+    journal = None
+    if opts.checkpoint is not None:
+        if run_key is None:
+            raise ValueError("checkpointed execution requires a run_key")
+        journal = CheckpointJournal(opts.checkpoint)
+        journal.register_run(
+            run_key,
+            kind=specs[0][0] if specs else "?",
+            shots=sum(spec[2] for spec in specs),
+            num_shards=len(specs),
+        )
+        if opts.resume:
+            for idx, (shots, failures) in journal.completed_shards(run_key).items():
+                if idx >= len(specs) or specs[idx][2] != shots:
+                    raise JournalMismatch(
+                        f"journal row (shard {idx}, shots {shots}) does not fit "
+                        f"this run's shard plan; refusing to resume from "
+                        f"{opts.checkpoint}"
+                    )
+                results[idx] = (shots, failures)
+            pending = [i for i in pending if i not in results]
+        else:
+            journal.clear_run(run_key)
+            journal.register_run(
+                run_key,
+                kind=specs[0][0] if specs else "?",
+                shots=sum(spec[2] for spec in specs),
+                num_shards=len(specs),
+            )
+    try:
+        if pending:
+            if workers == 1:
+                _execute_serial(specs, pending, results, journal, run_key, opts)
+            else:
+                _execute_pool(specs, pending, workers, results, journal, run_key, opts)
+    finally:
+        if journal is not None:
+            journal.close()
+    return [results[i] for i in range(len(specs))]
+
+
+def _record(
+    results: dict,
+    journal: CheckpointJournal | None,
+    run_key: str | None,
+    idx: int,
+    shots: int,
+    failures: int,
+) -> None:
+    results[idx] = (shots, failures)
+    if journal is not None:
+        journal.record_shard(run_key, idx, shots, failures)
+
+
+def _degrade_shard(
+    specs: list,
+    idx: int,
+    attempts: int,
+    last_error: BaseException | None,
+    results: dict,
+    journal,
+    run_key,
+    opts: ResilienceOptions,
+) -> None:
+    """Last resort: run the shard in-process (no chaos, no pool).  The
+    result is exact — shards are pure — so the run finishes correct."""
+    if not opts.degrade:
+        raise ShardRetryExhausted(idx, attempts, last_error) from last_error
+    warnings.warn(
+        f"shard {idx} failed {attempts} attempt(s) "
+        f"(last error: {last_error!r}); degrading to in-process execution — "
+        f"pooled counts are unaffected",
+        RunDegraded,
+        stacklevel=2,
+    )
+    try:
+        shots, failures = _run_shard_inprocess(specs[idx])
+    except Exception as exc:
+        raise ShardRetryExhausted(idx, attempts + 1, exc) from exc
+    _record(results, journal, run_key, idx, shots, failures)
+
+
+def _execute_serial(
+    specs: list,
+    pending: list[int],
+    results: dict,
+    journal,
+    run_key,
+    opts: ResilienceOptions,
+) -> None:
+    """In-process execution with the same retry/degradation accounting.
+
+    Chaos faults of every kind are injected as :class:`ChaosError` here —
+    a real crash/hang would take down the driver itself, and what is
+    under test is the retry bookkeeping (see :mod:`repro.threshold.chaos`).
+    """
+    allowed = 1 + opts.max_retries
+    for idx in pending:
+        last_error: BaseException | None = None
+        for attempt in range(1, allowed + 1):
+            fault = opts.chaos.fault_for(idx, attempt) if opts.chaos else None
+            try:
+                if fault is not None:
+                    raise ChaosError(
+                        f"injected {fault} (as exception, in-process): "
+                        f"shard {idx} attempt {attempt}"
+                    )
+                shots, failures = _run_shard_inprocess(specs[idx])
+            except Exception as exc:
+                last_error = exc
+                if attempt < allowed:
+                    _backoff_sleep(opts.backoff, attempt)
+                continue
+            _record(results, journal, run_key, idx, shots, failures)
+            break
+        else:
+            _degrade_shard(
+                specs, idx, allowed, last_error, results, journal, run_key, opts
+            )
+
+
+def _execute_pool(
+    specs: list,
+    pending: list[int],
+    workers: int,
+    results: dict,
+    journal,
+    run_key,
+    opts: ResilienceOptions,
+) -> None:
+    allowed = 1 + opts.max_retries
+    attempts = {i: 0 for i in pending}
+    last_error: dict[int, BaseException] = {}
+    degraded: list[int] = []
+    rebuilds = 0
+    futures: dict = {}  # Future -> shard index
+    started: dict = {}  # Future -> monotonic stamp when first seen running
+
+    try:
+        pool = _get_pool(workers)
+
+        def submit(idx: int, new_attempt: bool = True) -> None:
+            nonlocal pool, rebuilds
+            if new_attempt:
+                attempts[idx] += 1
+            payload = (idx, specs[idx], attempts[idx], opts.chaos)
+            try:
+                fut = pool.submit(_guarded_run_shard, payload)
+            except BrokenProcessPool:
+                # The pool broke between supervision ticks (or was already
+                # broken at submit time): replace it and resubmit at the
+                # same attempt — no worker ever ran this shard.  In-flight
+                # futures from the dead pool resolve BrokenProcessPool and
+                # are handled by the supervision loop as usual.
+                _kill_pool(workers)
+                rebuilds += 1
+                _backoff_sleep(opts.backoff, rebuilds)
+                pool = _get_pool(workers)
+                fut = pool.submit(_guarded_run_shard, payload)
+            futures[fut] = idx
+
+        def on_failure(idx: int, exc: BaseException) -> bool:
+            """Charge an attempt's failure; True → retry, False → degraded."""
+            last_error[idx] = exc
+            if attempts[idx] >= allowed:
+                if not opts.degrade:
+                    raise ShardRetryExhausted(idx, attempts[idx], exc) from exc
+                degraded.append(idx)
+                return False
+            return True
+
+        for idx in pending:
+            submit(idx)
+
+        while futures:
+            done, not_done = _fut_wait(
+                set(futures), timeout=_TICK, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+            for fut in not_done:
+                if fut not in started and fut.running():
+                    started[fut] = now
+
+            pool_broken = False
+            retries: list[int] = []
+            for fut in done:
+                idx = futures.pop(fut)
+                started.pop(fut, None)
+                try:
+                    _, shots, failures = fut.result()
+                except BrokenProcessPool as exc:
+                    pool_broken = True
+                    if on_failure(idx, exc):
+                        retries.append(idx)
+                    continue
+                except Exception as exc:
+                    if on_failure(idx, exc):
+                        retries.append(idx)
+                    continue
+                _record(results, journal, run_key, idx, shots, failures)
+
+            timed_out: set[int] = set()
+            if opts.shard_timeout is not None:
+                for fut, t0 in started.items():
+                    if now - t0 > opts.shard_timeout:
+                        timed_out.add(futures[fut])
+
+            if pool_broken or timed_out:
+                # The executor can neither cancel a running future nor
+                # survive a dead worker: abandon in-flight futures, kill
+                # and replace the pool, and resubmit everything unfinished.
+                # Timed-out shards are charged a failed attempt; innocent
+                # in-flight shards are resubmitted at their same attempt.
+                survivors: list[int] = []
+                for fut, idx in futures.items():
+                    if idx in timed_out:
+                        exc = ShardTimeout(idx, attempts[idx], opts.shard_timeout)
+                        if on_failure(idx, exc):
+                            retries.append(idx)
+                    else:
+                        survivors.append(idx)
+                futures.clear()
+                started.clear()
+                _kill_pool(workers)
+                rebuilds += 1
+                _backoff_sleep(opts.backoff, rebuilds)
+                try:
+                    pool = _get_pool(workers)
+                except Exception as exc:
+                    # Pool cannot be rebuilt (fd/memory exhaustion, ...):
+                    # degrade every unfinished shard rather than lose the run.
+                    if not opts.degrade:
+                        raise
+                    warnings.warn(
+                        f"worker pool could not be rebuilt ({exc!r}); running "
+                        f"{len(retries) + len(survivors)} remaining shard(s) "
+                        f"in-process",
+                        RunDegraded,
+                        stacklevel=2,
+                    )
+                    degraded.extend(retries)
+                    degraded.extend(survivors)
+                    break
+                for idx in survivors:
+                    submit(idx, new_attempt=False)
+                for idx in retries:
+                    submit(idx)
+            elif retries:
+                _backoff_sleep(opts.backoff, max(attempts[i] for i in retries))
+                for idx in retries:
+                    submit(idx)
+    except ShardRetryExhausted:
+        for fut in futures:
+            fut.cancel()
+        raise
+    except (KeyboardInterrupt, SystemExit):
+        # Never leave a cached executor holding orphaned in-flight
+        # futures: a later call would reuse it and inherit the mess.
+        _kill_pool(workers)
+        raise
+
+    for idx in sorted(set(degraded)):
+        _degrade_shard(
+            specs,
+            idx,
+            attempts[idx],
+            last_error.get(idx),
+            results,
+            journal,
+            run_key,
+            opts,
+        )

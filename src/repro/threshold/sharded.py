@@ -17,6 +17,18 @@ Determinism contract
 * ``workers=1`` with the default ``num_shards=None`` takes the unsharded
   single-process path and reproduces :func:`memory_experiment` /
   :func:`code_capacity_memory` bit-for-bit (same seed → same failures).
+* Because each shard is a **pure function of its spec**, the resilient
+  runtime's retries, degradations, and journal resumes are bit-for-bit
+  identical to a clean run — faults can cost time, never correctness.
+
+Execution is supervised by :mod:`repro.threshold.runtime` (per-shard
+timeouts, bounded retry with backoff, pool replacement on
+``BrokenProcessPool``, in-process degradation) and optionally journaled
+by :mod:`repro.threshold.journal` under a content-addressed run key, so a
+killed scan resumes from disk re-executing only unfinished shards.  The
+resilience knobs (``max_retries``, ``shard_timeout``, ``checkpoint``,
+``resume``, ...) are keyword arguments on both entry points here and are
+threaded through every Monte Carlo caller.
 
 Workers are spawned (``multiprocessing`` spawn context, the portable and
 thread-safe choice); spawn's preparation data carries the parent's
@@ -27,14 +39,14 @@ compiled programs, codes, and noise models all are).
 
 from __future__ import annotations
 
-import atexit
-import multiprocessing
 import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
 
 import numpy as np
 
+from repro.threshold.chaos import ChaosPlan
+from repro.threshold.journal import compute_run_key
+from repro.threshold.runtime import ResilienceOptions, execute_shards
 from repro.util.stats import binomial_confidence, logical_error_per_round
 
 __all__ = [
@@ -103,6 +115,26 @@ def spawn_shard_seeds(
     return np.random.SeedSequence(seed).spawn(n)
 
 
+def _seed_fingerprint(seed: int | np.random.SeedSequence) -> tuple:
+    """Normalized seed identity for the content-addressed run key.
+
+    The two ``spawn_shard_seeds`` branches derive *different* shard
+    streams (an int spawns children directly; a ``SeedSequence`` spawns
+    them under the reserved domain branch), so an int seed and the
+    equivalent ``SeedSequence`` deliberately fingerprint differently.  A
+    spawned/derived sequence carries its entropy *and* spawn key, so
+    sibling grid points never share a run key.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return (
+            "seedseq",
+            seed.entropy,
+            tuple(seed.spawn_key),
+            seed.pool_size,
+        )
+    return ("int", int(seed))
+
+
 # ----------------------------------------------------------------------
 # Worker side.  Module-level functions only (spawn pickles them by name;
 # spawn's preparation data carries the parent's sys.path, so the child can
@@ -133,40 +165,28 @@ def _build_specs(
     shots: int,
     seed: int | np.random.SeedSequence | None,
     num_shards: int | None,
-) -> list[tuple]:
+) -> tuple[list[tuple], tuple]:
+    """Shard specs plus the seed fingerprint for run-key computation.
+
+    ``seed=None`` is materialized into a fresh-entropy ``SeedSequence``
+    here so even an OS-seeded run has a *knowable* identity — its run key
+    simply never matches a previous run's (an irreproducible run is,
+    correctly, never resumed).
+    """
     sizes = shard_sizes(shots, num_shards)
+    if seed is None:
+        seed = np.random.SeedSequence()
     seeds = spawn_shard_seeds(seed, len(sizes))
-    return [(kind, args, size, ss) for size, ss in zip(sizes, seeds)]
+    specs = [(kind, args, size, ss) for size, ss in zip(sizes, seeds)]
+    return specs, _seed_fingerprint(seed)
 
 
-# Spawned pools cost ~0.6 s to start, so they are cached per worker count
-# and reused across calls — a grid scan pays the startup once, not once per
-# grid point.  Workers are stateless between shards (each shard re-derives
-# everything from its spec), so reuse cannot leak state between runs.
-_pool_cache: dict[int, ProcessPoolExecutor] = {}
-
-
-def _shutdown_pools() -> None:
-    for pool in _pool_cache.values():
-        pool.shutdown(wait=False, cancel_futures=True)
-    _pool_cache.clear()
-
-
-atexit.register(_shutdown_pools)
-
-
-def _get_pool(workers: int) -> ProcessPoolExecutor:
-    pool = _pool_cache.get(workers)
-    if pool is None:
-        ctx = multiprocessing.get_context("spawn")
-        pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
-        _pool_cache[workers] = pool
-    return pool
-
-
-def _execute(specs: list[tuple], workers: int) -> list[tuple[int, int]]:
-    if workers == 1:
-        return [_run_shard(spec) for spec in specs]
+def _execute(
+    specs: list[tuple],
+    workers: int,
+    options: ResilienceOptions | None = None,
+    run_key: str | None = None,
+) -> list[tuple[int, int]]:
     if workers > len(specs):
         warnings.warn(
             f"only {len(specs)} shards for {workers} workers — parallelism is "
@@ -174,15 +194,7 @@ def _execute(specs: list[tuple], workers: int) -> list[tuple[int, int]]:
             stacklevel=3,
         )
         workers = len(specs)
-    pool = _get_pool(workers)
-    try:
-        return list(pool.map(_run_shard, specs))
-    except BrokenProcessPool:
-        # A dead worker poisons the whole executor; evict it so the next
-        # call starts from a fresh pool instead of failing forever.
-        _pool_cache.pop(workers, None)
-        pool.shutdown(wait=False, cancel_futures=True)
-        raise
+    return execute_shards(specs, workers, options=options, run_key=run_key)
 
 
 def _pooled_result(counts: list[tuple[int, int]], rounds: int):
@@ -196,6 +208,44 @@ def _pooled_result(counts: list[tuple[int, int]], rounds: int):
     )
 
 
+def _resilience_options(
+    max_retries: int | None,
+    shard_timeout: float | None,
+    backoff: float | None,
+    checkpoint: str | Path | None,
+    resume: bool,
+    chaos: ChaosPlan | None,
+    degrade: bool,
+) -> ResilienceOptions:
+    defaults = ResilienceOptions()
+    return ResilienceOptions(
+        max_retries=defaults.max_retries if max_retries is None else max_retries,
+        shard_timeout=shard_timeout,
+        backoff=defaults.backoff if backoff is None else backoff,
+        checkpoint=checkpoint,
+        resume=resume,
+        chaos=chaos,
+        degrade=degrade,
+    )
+
+
+def _run_sharded(
+    kind: str,
+    args: tuple,
+    rounds: int,
+    shots: int,
+    seed,
+    workers: int,
+    num_shards: int | None,
+    options: ResilienceOptions,
+):
+    specs, fingerprint = _build_specs(kind, args, shots, seed, num_shards)
+    run_key = None
+    if options.checkpoint is not None:
+        run_key = compute_run_key(kind, args, shots, fingerprint, len(specs))
+    return _pooled_result(_execute(specs, workers, options, run_key), rounds)
+
+
 def sharded_memory_experiment(
     protocol,
     code,
@@ -204,23 +254,49 @@ def sharded_memory_experiment(
     seed: int | np.random.SeedSequence | None = None,
     workers: int = 1,
     num_shards: int | None = None,
+    *,
+    max_retries: int | None = None,
+    shard_timeout: float | None = None,
+    backoff: float | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = True,
+    chaos: ChaosPlan | None = None,
+    degrade: bool = True,
 ):
     """Shot-sharded :func:`~repro.threshold.montecarlo.memory_experiment`.
 
-    ``workers=1`` with ``num_shards=None`` is the unsharded single-process
-    path (bit-for-bit identical to ``memory_experiment``); any explicit
-    ``num_shards`` activates the sharded plan, executed in-process when
-    ``workers=1`` and across spawned processes otherwise — with identical
-    pooled counts either way.
+    ``workers=1`` with ``num_shards=None`` (and no checkpoint/chaos) is the
+    unsharded single-process path (bit-for-bit identical to
+    ``memory_experiment``); any explicit ``num_shards`` activates the
+    sharded plan, executed in-process when ``workers=1`` and across
+    spawned processes otherwise — with identical pooled counts either way.
+
+    Resilience knobs (see :class:`repro.threshold.runtime.ResilienceOptions`):
+    ``max_retries``/``shard_timeout``/``backoff`` bound and pace shard
+    retries, ``checkpoint=`` journals finished shards into a sqlite file
+    keyed by the content-addressed run key and ``resume=True`` replays
+    them after a crash, ``chaos`` injects deterministic faults (tests),
+    and ``degrade=False`` raises ``ShardRetryExhausted`` instead of
+    falling back to in-process execution.
     """
     if workers < 1:
         raise ValueError("workers must be positive")
-    if workers == 1 and num_shards is None:
+    if (
+        workers == 1
+        and num_shards is None
+        and checkpoint is None
+        and chaos is None
+    ):
         from repro.threshold.montecarlo import memory_experiment
 
         return memory_experiment(protocol, code, rounds, shots, seed)
-    specs = _build_specs("memory", (protocol, code, rounds), shots, seed, num_shards)
-    return _pooled_result(_execute(specs, workers), rounds)
+    options = _resilience_options(
+        max_retries, shard_timeout, backoff, checkpoint, resume, chaos, degrade
+    )
+    return _run_sharded(
+        "memory", (protocol, code, rounds), rounds, shots, seed, workers,
+        num_shards, options,
+    )
 
 
 def sharded_code_capacity_memory(
@@ -231,13 +307,35 @@ def sharded_code_capacity_memory(
     seed: int | np.random.SeedSequence | None = None,
     workers: int = 1,
     num_shards: int | None = None,
+    *,
+    max_retries: int | None = None,
+    shard_timeout: float | None = None,
+    backoff: float | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = True,
+    chaos: ChaosPlan | None = None,
+    degrade: bool = True,
 ):
-    """Shot-sharded :func:`~repro.threshold.montecarlo.code_capacity_memory`."""
+    """Shot-sharded :func:`~repro.threshold.montecarlo.code_capacity_memory`.
+
+    Same contract and resilience knobs as
+    :func:`sharded_memory_experiment`.
+    """
     if workers < 1:
         raise ValueError("workers must be positive")
-    if workers == 1 and num_shards is None:
+    if (
+        workers == 1
+        and num_shards is None
+        and checkpoint is None
+        and chaos is None
+    ):
         from repro.threshold.montecarlo import code_capacity_memory
 
         return code_capacity_memory(code, eps, rounds, shots, seed)
-    specs = _build_specs("capacity", (code, eps, rounds), shots, seed, num_shards)
-    return _pooled_result(_execute(specs, workers), rounds)
+    options = _resilience_options(
+        max_retries, shard_timeout, backoff, checkpoint, resume, chaos, degrade
+    )
+    return _run_sharded(
+        "capacity", (code, eps, rounds), rounds, shots, seed, workers,
+        num_shards, options,
+    )

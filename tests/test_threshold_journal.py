@@ -1,0 +1,295 @@
+"""Checkpoint journal: content-addressed run keys, crash-safe shard
+recording, and resume-from-kill semantics.
+
+The resume contract: because run keys hash every input that determines
+the pooled counts (kind, pickled protocol/code/noise/rounds payload,
+shots, seed entropy + spawn key, resolved shard count) and every shard is
+a pure function of its spec, replaying journal rows is bit-for-bit
+equivalent to re-executing them — and a key mismatch (any input changed)
+simply starts a fresh run rather than corrupting one.
+"""
+
+import pytest
+
+from repro.codes import SteaneCode
+from repro.ft import SteaneECProtocol
+from repro.noise import circuit_level
+from repro.threshold import (
+    CheckpointJournal,
+    JournalMismatch,
+    compute_run_key,
+    fit_level1_coefficient,
+    sharded_memory_experiment,
+)
+from repro.threshold import sharded
+
+
+@pytest.fixture(scope="module")
+def code():
+    return SteaneCode()
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return SteaneECProtocol(circuit_level(2e-3))
+
+
+@pytest.fixture()
+def journal_path(tmp_path):
+    return tmp_path / "checkpoint.sqlite"
+
+
+def run_key_for(protocol, code, shots, seed, num_shards):
+    specs, fingerprint = sharded._build_specs(
+        "memory", (protocol, code, 1), shots, seed, num_shards
+    )
+    return compute_run_key(
+        "memory", (protocol, code, 1), shots, fingerprint, len(specs)
+    )
+
+
+@pytest.fixture()
+def spy_run_shard(monkeypatch):
+    """Counts real shard executions so replays are observable."""
+    calls = []
+    original = sharded._run_shard
+
+    def counting(spec):
+        calls.append(spec)
+        return original(spec)
+
+    monkeypatch.setattr(sharded, "_run_shard", counting)
+    return calls
+
+
+class TestRunKey:
+    def test_deterministic(self, protocol, code):
+        a = run_key_for(protocol, code, 600, 5, 6)
+        b = run_key_for(protocol, code, 600, 5, 6)
+        assert a == b
+
+    def test_sensitive_to_every_input(self, protocol, code):
+        base = run_key_for(protocol, code, 600, 5, 6)
+        assert run_key_for(protocol, code, 601, 5, 6) != base      # shots
+        assert run_key_for(protocol, code, 600, 6, 6) != base      # seed
+        assert run_key_for(protocol, code, 600, 5, 4) != base      # shard plan
+        other = SteaneECProtocol(circuit_level(3e-3))              # physics
+        assert run_key_for(other, code, 600, 5, 6) != base
+
+    def test_kind_disambiguates(self, protocol, code):
+        specs, fp = sharded._build_specs(
+            "memory", (protocol, code, 1), 600, 5, 6
+        )
+        a = compute_run_key("memory", (protocol, code, 1), 600, fp, 6)
+        b = compute_run_key("capacity", (protocol, code, 1), 600, fp, 6)
+        assert a != b
+
+    def test_seed_none_is_never_resumable(self, protocol, code):
+        """OS-entropy runs are irreproducible, so their keys never match."""
+        assert run_key_for(protocol, code, 600, None, 6) != run_key_for(
+            protocol, code, 600, None, 6
+        )
+
+    def test_int_and_seedsequence_fingerprints_differ(self, protocol, code):
+        """spawn_shard_seeds derives different streams for an int seed vs
+        the equivalent SeedSequence (reserved-domain branch), so their run
+        keys must differ too."""
+        import numpy as np
+
+        assert run_key_for(protocol, code, 600, 5, 6) != run_key_for(
+            protocol, code, 600, np.random.SeedSequence(5), 6
+        )
+
+
+class TestJournalStore:
+    def test_record_and_replay_roundtrip(self, journal_path):
+        with CheckpointJournal(journal_path) as journal:
+            journal.register_run("k1", kind="memory", shots=100, num_shards=2)
+            journal.record_shard("k1", 0, 50, 3)
+            journal.record_shard("k1", 1, 50, 1)
+            assert journal.completed_shards("k1") == {0: (50, 3), 1: (50, 1)}
+            assert journal.merged_counts("k1") == (100, 4)
+            assert journal.runs() == [("k1", "memory", 100, 2)]
+
+    def test_rerecord_is_idempotent(self, journal_path):
+        with CheckpointJournal(journal_path) as journal:
+            journal.record_shard("k1", 0, 50, 3)
+            journal.record_shard("k1", 0, 50, 3)
+            assert journal.completed_shards("k1") == {0: (50, 3)}
+
+    def test_runs_are_isolated_by_key(self, journal_path):
+        with CheckpointJournal(journal_path) as journal:
+            journal.record_shard("k1", 0, 50, 3)
+            journal.record_shard("k2", 0, 70, 9)
+            assert journal.completed_shards("k1") == {0: (50, 3)}
+            assert journal.completed_shards("k2") == {0: (70, 9)}
+            journal.clear_run("k1")
+            assert journal.completed_shards("k1") == {}
+            assert journal.completed_shards("k2") == {0: (70, 9)}
+
+    def test_survives_reopen(self, journal_path):
+        with CheckpointJournal(journal_path) as journal:
+            journal.record_shard("k1", 0, 50, 3)
+        with CheckpointJournal(journal_path) as journal:
+            assert journal.completed_shards("k1") == {0: (50, 3)}
+
+    def test_wal_mode_active(self, journal_path):
+        with CheckpointJournal(journal_path) as journal:
+            mode = journal._conn.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode == "wal"
+
+
+class TestCheckpointedRuns:
+    def test_checkpointed_run_matches_plain_run(
+        self, protocol, code, journal_path
+    ):
+        base = sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1, num_shards=6
+        )
+        checkpointed = sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1,
+            num_shards=6, checkpoint=journal_path,
+        )
+        assert checkpointed == base
+        key = run_key_for(protocol, code, 600, 5, 6)
+        with CheckpointJournal(journal_path) as journal:
+            assert sorted(journal.completed_shards(key)) == [0, 1, 2, 3, 4, 5]
+            assert journal.merged_counts(key) == (base.shots, base.failures)
+
+    def test_completed_run_replays_without_executing(
+        self, protocol, code, journal_path, spy_run_shard
+    ):
+        first = sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1,
+            num_shards=6, checkpoint=journal_path,
+        )
+        executed_first = len(spy_run_shard)
+        replayed = sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1,
+            num_shards=6, checkpoint=journal_path,
+        )
+        assert executed_first == 6
+        assert len(spy_run_shard) == executed_first  # zero new executions
+        assert replayed == first
+
+    def test_killed_run_resumes_only_unfinished_shards(
+        self, protocol, code, journal_path, spy_run_shard
+    ):
+        """The acceptance criterion: a run killed mid-scan resumes from the
+        journal and re-executes only the shards that never finished."""
+        base = sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1, num_shards=6
+        )
+        sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1,
+            num_shards=6, checkpoint=journal_path,
+        )
+        key = run_key_for(protocol, code, 600, 5, 6)
+        # Simulate the kill: shards 3..5 never made it into the journal.
+        with CheckpointJournal(journal_path) as journal:
+            for idx in (3, 4, 5):
+                journal._conn.execute(
+                    "DELETE FROM shard_results WHERE run_key=? AND shard_index=?",
+                    (key, idx),
+                )
+            journal._conn.commit()
+        spy_run_shard.clear()
+        resumed = sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1,
+            num_shards=6, checkpoint=journal_path,
+        )
+        assert len(spy_run_shard) == 3  # only the unfinished shards re-ran
+        assert {spec[2] for spec in spy_run_shard} == {100}
+        assert resumed == base  # bit-for-bit, not merely statistically equal
+
+    def test_resume_false_reexecutes_everything(
+        self, protocol, code, journal_path, spy_run_shard
+    ):
+        sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1,
+            num_shards=6, checkpoint=journal_path,
+        )
+        spy_run_shard.clear()
+        sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1,
+            num_shards=6, checkpoint=journal_path, resume=False,
+        )
+        assert len(spy_run_shard) == 6
+
+    def test_changed_inputs_never_replay_stale_rows(
+        self, protocol, code, journal_path, spy_run_shard
+    ):
+        sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1,
+            num_shards=6, checkpoint=journal_path,
+        )
+        spy_run_shard.clear()
+        # Different seed → different run key → full re-execution.
+        sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=6, workers=1,
+            num_shards=6, checkpoint=journal_path,
+        )
+        assert len(spy_run_shard) == 6
+
+    def test_corrupt_journal_row_refuses_to_resume(
+        self, protocol, code, journal_path
+    ):
+        sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1,
+            num_shards=6, checkpoint=journal_path,
+        )
+        key = run_key_for(protocol, code, 600, 5, 6)
+        with CheckpointJournal(journal_path) as journal:
+            journal.record_shard(key, 0, 999, 0)  # wrong shard size
+        with pytest.raises(JournalMismatch):
+            sharded_memory_experiment(
+                protocol, code, rounds=1, shots=600, seed=5, workers=1,
+                num_shards=6, checkpoint=journal_path,
+            )
+
+    @pytest.mark.slow_mp
+    def test_multiprocess_checkpoint_resume(self, protocol, code, journal_path):
+        base = sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1, num_shards=6
+        )
+        mp_run = sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=2,
+            num_shards=6, checkpoint=journal_path,
+        )
+        assert mp_run == base
+        key = run_key_for(protocol, code, 600, 5, 6)
+        with CheckpointJournal(journal_path) as journal:
+            for idx in (1, 4):
+                journal._conn.execute(
+                    "DELETE FROM shard_results WHERE run_key=? AND shard_index=?",
+                    (key, idx),
+                )
+            journal._conn.commit()
+        resumed = sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=2,
+            num_shards=6, checkpoint=journal_path,
+        )
+        assert resumed == base
+
+    def test_grid_scan_checkpoints_per_point(
+        self, protocol, code, journal_path, spy_run_shard
+    ):
+        """fit_level1_coefficient threads checkpoint= through: each grid
+        point journals under its own run key, so a killed scan resumes
+        mid-grid."""
+        import numpy as np
+
+        grid = np.array([1e-3, 2e-3])
+        factory = lambda eps: SteaneECProtocol(circuit_level(eps))  # noqa: E731
+        fit_a = fit_level1_coefficient(
+            factory, code, grid, shots=200, seed=3,
+            num_shards=2, checkpoint=journal_path,
+        )
+        executed = len(spy_run_shard)
+        assert executed == 4  # 2 points x 2 shards
+        fit_b = fit_level1_coefficient(
+            factory, code, grid, shots=200, seed=3,
+            num_shards=2, checkpoint=journal_path,
+        )
+        assert len(spy_run_shard) == executed  # fully replayed from disk
+        assert fit_a == fit_b

@@ -15,6 +15,7 @@ import json
 import math
 import pickle
 import sys
+import time
 import warnings
 from pathlib import Path
 
@@ -37,6 +38,7 @@ from repro.threshold import (
     shard_sizes,
     spawn_shard_seeds,
 )
+from repro.threshold import runtime
 from repro.util.stats import binomial_confidence, logical_error_per_round
 
 
@@ -96,6 +98,7 @@ class TestShardPlan:
             for od in our_draws:
                 assert not np.array_equal(td, od)
 
+    @pytest.mark.slow_mp
     def test_more_workers_than_shards_warns(self, code):
         with pytest.warns(UserWarning, match="capped at the shard count"):
             sharded_memory_experiment(
@@ -133,6 +136,7 @@ class TestSingleProcessParity:
         assert pooled.per_round_rate == logical_error_per_round(est, 1)
 
 
+@pytest.mark.slow_mp
 class TestMultiprocessParity:
     def test_deterministic_across_worker_counts(self, code, protocol):
         """Fixed (seed, shots, num_shards) → identical results for any
@@ -287,6 +291,45 @@ class TestPerRoundConversion:
         )
 
 
+@pytest.mark.slow_mp
+class TestPoolLifecycle:
+    """The cached-executor contract of the resilient runtime: clean calls
+    reuse one spawned pool; a pool whose worker died — even while idle in
+    the cache between calls — is evicted and replaced, never returned."""
+
+    def test_pool_cache_reused_across_clean_calls(self, code, protocol):
+        kwargs = dict(rounds=1, shots=600, seed=3, workers=2, num_shards=4)
+        first = sharded_memory_experiment(protocol, code, **kwargs)
+        pool = runtime._pool_cache.get(2)
+        assert pool is not None
+        second = sharded_memory_experiment(protocol, code, **kwargs)
+        # Same executor object: the ~0.6 s spawn cost is paid once per scan.
+        assert runtime._pool_cache.get(2) is pool
+        assert second == first
+
+    def test_externally_killed_worker_evicts_and_recovers(self, code, protocol):
+        """BrokenProcessPool eviction: SIGKILL a cached pool's worker (as
+        the OOM killer would) and the next call must replace the executor
+        and still finish bit-for-bit."""
+        kwargs = dict(rounds=1, shots=600, seed=3, num_shards=4)
+        base = sharded_memory_experiment(protocol, code, workers=1, **kwargs)
+        sharded_memory_experiment(protocol, code, workers=2, **kwargs)
+        pool = runtime._pool_cache[2]
+        victim = next(iter(pool._processes.values()))
+        victim.kill()
+        victim.join(10)
+        # The executor's manager thread marks the pool broken asynchronously.
+        deadline = time.monotonic() + 10
+        while not pool._broken and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert pool._broken
+        result = sharded_memory_experiment(
+            protocol, code, workers=2, backoff=0.001, **kwargs
+        )
+        assert result == base
+        assert runtime._pool_cache.get(2) is not pool
+
+
 class TestBenchGuard:
     """Like-for-like guard semantics of scripts/bench_perf.py (pure
     record-comparison functions; nothing is measured here)."""
@@ -321,6 +364,34 @@ class TestBenchGuard:
         other_workers = self._record(sharded={"workers": 4, "shot_rounds_per_sec": 1e6})
         assert check_regression(regressed, old)
         assert check_regression(other_workers, old) is None
+
+    def test_cpu_count_mismatch_skips_guard(self, capsys):
+        """A baseline from unlike hardware compares nothing: throughput on
+        a different core count says nothing about the code."""
+        from bench_perf import check_regression
+
+        old = self._record(rate=4e6)
+        old["config"]["cpu_count"] = 8
+        new = self._record(rate=1e6)  # would be a 4x regression...
+        new["config"]["cpu_count"] = 1
+        assert check_regression(new, old) is None
+        assert "not like-for-like hardware" in capsys.readouterr().err
+
+    def test_cpu_count_match_keeps_guard_engaged(self):
+        from bench_perf import check_regression
+
+        old = self._record(rate=4e6)
+        old["config"]["cpu_count"] = 8
+        new = self._record(rate=1e6)
+        new["config"]["cpu_count"] = 8
+        assert check_regression(new, old)
+
+    def test_legacy_records_without_cpu_count_keep_guard_engaged(self):
+        """Pre-existing baselines lack the field on both sides (as the
+        other tests in this class do); None == None stays like-for-like."""
+        from bench_perf import check_regression
+
+        assert check_regression(self._record(rate=1e6), self._record(rate=4e6))
 
     def test_write_refuses_protocol_mismatch(self, tmp_path):
         from bench_perf import write_guarded
