@@ -30,6 +30,7 @@ import json
 import os
 import socket
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -43,7 +44,7 @@ from repro.threshold import memory_experiment  # noqa: E402
 from repro.threshold.sharded import DEFAULT_NUM_SHARDS  # noqa: E402
 
 BENCH_PATH = REPO_ROOT / "BENCH_pauliframe.json"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3  # v3 adds the optional cache_hit entry
 REGRESSION_TOLERANCE = 0.20  # refuse overwrite when >20% slower
 
 
@@ -88,12 +89,43 @@ def _time_engine(
     return record
 
 
+def _time_cache(shots: int, rounds: int, eps: float, seed: int) -> dict:
+    """Time the result cache: one cold run (compute + journal every shard)
+    against one warm run (full hit replayed from sqlite, no pool, no
+    shards executed) of the identical experiment in a scratch store."""
+    code = SteaneCode()
+    protocol = SteaneECProtocol(circuit_level(eps), engine="compiled")
+    memory_experiment(protocol, code, rounds=1, shots=min(shots, 256), seed=seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / "bench_cache.sqlite"
+        t0 = time.perf_counter()
+        cold = memory_experiment(
+            protocol, code, rounds=rounds, shots=shots, seed=seed,
+            checkpoint=cache,
+        )
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = memory_experiment(
+            protocol, code, rounds=rounds, shots=shots, seed=seed,
+            checkpoint=cache,
+        )
+        warm_s = time.perf_counter() - t0
+    assert warm == cold, "cache replay diverged from the computed result"
+    return {
+        "miss_seconds": round(cold_s, 4),
+        "hit_seconds": round(warm_s, 4),
+        "hit_speedup": round(cold_s / warm_s, 1),
+        "hit_shot_rounds_per_sec": round(shots * rounds / warm_s, 1),
+    }
+
+
 def run_benchmark(
     shots: int = 10_000,
     rounds: int = 10,
     eps: float = 1e-3,
     seed: int = 2026,
     workers: int = 1,
+    cache_bench: bool = False,
 ) -> dict:
     """Measure both engines on the same experiment; returns the record.
 
@@ -131,6 +163,8 @@ def run_benchmark(
             sharded["shot_rounds_per_sec"] / compiled["shot_rounds_per_sec"], 2
         )
         record["sharded"] = sharded
+    if cache_bench:
+        record["cache_hit"] = _time_cache(shots, rounds, eps, seed)
     return record
 
 
@@ -220,6 +254,13 @@ def write_guarded(record: dict, path: Path = BENCH_PATH, force: bool = False) ->
             # Copy rather than mutate — the caller's record must keep
             # matching what was actually measured.
             record = {**record, "sharded": {**old_sh, "carried_forward": True}}
+        if old.get("cache_hit") and not record.get("cache_hit"):
+            # Same courtesy for the cache-hit datapoint: a run without
+            # --cache-bench must not silently drop it.
+            record = {
+                **record,
+                "cache_hit": {**old["cache_hit"], "carried_forward": True},
+            }
         elif old_sh and new_sh and new_sh.get("workers") != old_sh.get("workers"):
             print(
                 f"NOT COMPARABLE: stored sharded baseline used "
@@ -249,6 +290,11 @@ def main(argv: list[str] | None = None) -> int:
         help="also time the multiprocess shot-sharded driver with this many "
         "worker processes and record the parallel-scaling datapoint",
     )
+    parser.add_argument(
+        "--cache-bench", action="store_true",
+        help="also time the result cache: a cold journaled run vs a full "
+        "cache hit (replayed from sqlite without executing a shard)",
+    )
     parser.add_argument("--quick", action="store_true", help="CI-sized run (2k shots, 3 rounds)")
     parser.add_argument("--force", action="store_true", help="overwrite even on regression")
     parser.add_argument(
@@ -264,7 +310,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.workers < 1:
         parser.error("--workers must be positive")
 
-    record = run_benchmark(args.shots, args.rounds, args.eps, args.seed, args.workers)
+    record = run_benchmark(
+        args.shots, args.rounds, args.eps, args.seed, args.workers,
+        cache_bench=args.cache_bench,
+    )
     print(
         f"legacy:   {record['legacy']['seconds']:8.3f}s "
         f"({record['legacy']['shot_rounds_per_sec']:>12,.0f} shot-rounds/sec)"
@@ -281,6 +330,12 @@ def main(argv: list[str] | None = None) -> int:
             f"({sh['shot_rounds_per_sec']:>12,.0f} shot-rounds/sec, "
             f"workers={sh['workers']}, {sh['scaling_vs_compiled']:.2f}x vs compiled "
             f"on {record['config']['cpu_count']} cpu(s))"
+        )
+    if "cache_hit" in record:
+        ch = record["cache_hit"]
+        print(
+            f"cache:    miss {ch['miss_seconds']:.3f}s -> hit "
+            f"{ch['hit_seconds']:.3f}s ({ch['hit_speedup']:.0f}x)"
         )
 
     if args.check:

@@ -13,6 +13,16 @@ shard into a sqlite file keyed by content-addressed run keys, and
 ``--resume`` replays finished shards after a crash or Ctrl-C, re-executing
 only the remainder; ``--shard-timeout`` / ``--max-retries`` bound hung and
 failing workers.
+
+The journal doubles as a content-addressed **result cache**: ``--cache
+[PATH]`` (default ``full_results.checkpoint.sqlite``) makes every Monte
+Carlo run consult the store before computing — a repeat of an
+already-completed run replays its pooled counts from disk without spawning
+a worker pool; corrupted rows are quarantined and recomputed
+(``CacheCorrupt``); storage faults degrade to uncheckpointed execution
+(``JournalDegraded``) instead of killing the run.  ``--no-cache`` forces
+recomputation even when a cache path is configured.  ``cache stats`` and
+``cache gc`` inspect and compact the store.
 """
 
 import argparse
@@ -70,7 +80,7 @@ def run_bench(quick: bool, workers: int = 1) -> int:
     # write refused them 100% of the time as a spurious "regression").  The
     # real regression guard engages on the full protocol, i.e. --bench
     # without --quick.
-    argv = ["--quick", "--check"] if quick else []
+    argv = ["--quick", "--check"] if quick else ["--cache-bench"]
     if workers != 1:
         argv += ["--workers", str(workers)]
     return bench_main(argv)
@@ -91,8 +101,31 @@ def run_tests(quick: bool) -> int:
     return subprocess.call(cmd, cwd=str(REPO_ROOT), env=env)
 
 
+def run_cache_command(command: list[str], cache_path: str) -> int:
+    """``cache stats`` / ``cache gc`` — inspect or compact the result cache."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.threshold import ResultCache
+
+    sub = command[1] if len(command) > 1 else "stats"
+    if sub not in ("stats", "gc"):
+        print(f"unknown cache subcommand {sub!r}; use 'stats' or 'gc'", file=sys.stderr)
+        return 2
+    if not Path(cache_path).exists():
+        print(f"no cache at {cache_path}", file=sys.stderr)
+        return 1
+    with ResultCache(cache_path) as cache:
+        report = cache.stats() if sub == "stats" else cache.gc()
+    print(json.dumps(report, indent=1))
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "command", nargs="*", default=[],
+        help="optional subcommand: 'cache stats' (health summary) or "
+        "'cache gc' (drop incomplete runs, purge quarantine, VACUUM)",
+    )
     parser.add_argument(
         "--bench", action="store_true",
         help="run the perf harness instead of the experiments (guarded "
@@ -117,6 +150,17 @@ def main() -> int:
         f"{Path(DEFAULT_CHECKPOINT).name})",
     )
     parser.add_argument(
+        "--cache", nargs="?", const=DEFAULT_CHECKPOINT, default=None,
+        metavar="PATH",
+        help="use the journal as a content-addressed result cache (read "
+        "before compute + checkpoint + resume); PATH defaults to "
+        f"{Path(DEFAULT_CHECKPOINT).name}",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="force recomputation: ignore --cache/--checkpoint entirely",
+    )
+    parser.add_argument(
         "--resume", action="store_true",
         help="replay shards already recorded in the checkpoint journal and "
         "re-execute only the remainder (run keys are content-addressed, so "
@@ -137,18 +181,30 @@ def main() -> int:
         help="experiments output JSON (the bench always writes BENCH_*.json)",
     )
     args = parser.parse_args()
+    if args.command:
+        if args.command[0] != "cache":
+            print(f"unknown command {args.command[0]!r}", file=sys.stderr)
+            return 2
+        return run_cache_command(
+            args.command, args.cache or args.checkpoint or DEFAULT_CHECKPOINT
+        )
     if args.bench:
         return run_bench(args.quick, args.workers)
     if args.tests:
         return run_tests(args.quick)
-    checkpoint = args.checkpoint
+    # --cache is checkpoint + resume under its result-cache reading; an
+    # explicit --checkpoint still works, and --no-cache wins over both.
+    checkpoint = args.cache or args.checkpoint
     if args.resume and checkpoint is None:
         checkpoint = DEFAULT_CHECKPOINT
+    if args.no_cache:
+        checkpoint = None
+    resume = args.resume or args.cache is not None
     return run_experiments(
         args.out,
         args.workers,
         checkpoint=checkpoint,
-        resume=args.resume if checkpoint is not None else None,
+        resume=resume if checkpoint is not None else None,
         shard_timeout=args.shard_timeout,
         max_retries=args.max_retries,
     )

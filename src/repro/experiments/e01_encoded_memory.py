@@ -25,12 +25,22 @@ def run(
     resume: bool = True,
     shard_timeout: float | None = None,
     max_retries: int | None = None,
+    cache=None,
 ) -> dict:
     """``checkpoint``/``resume`` journal each grid point's shards under its
     own content-addressed run key (the per-point seed is spawned, hence
     distinct), so a killed sweep resumes mid-grid; ``shard_timeout`` /
     ``max_retries`` bound hung and failing workers.  All four thread into
-    :func:`repro.threshold.sharded.sharded_code_capacity_memory`."""
+    :func:`repro.threshold.sharded.sharded_code_capacity_memory`.
+
+    ``cache`` is an alias for ``checkpoint`` under its result-cache
+    reading: the same sqlite store doubles as a content-addressed result
+    cache, so a rerun of an already-completed sweep replays every grid
+    point from disk without spawning a worker pool (corrupted rows are
+    quarantined and recomputed; storage faults degrade to uncheckpointed
+    execution instead of killing the sweep)."""
+    if cache is not None:
+        checkpoint = cache
     resilience = {}
     if checkpoint is not None:
         resilience = {"checkpoint": checkpoint, "resume": resume}

@@ -33,11 +33,18 @@ def run(
     resume: bool = True,
     shard_timeout: float | None = None,
     max_retries: int | None = None,
+    cache=None,
 ) -> dict:
     """Resilience knobs thread into the Monte Carlo scan: with
     ``checkpoint`` set, each grid point journals under its own
     content-addressed run key (the protocol embeds ε), so a killed scan
-    resumes mid-grid re-executing only unfinished shards."""
+    resumes mid-grid re-executing only unfinished shards.
+
+    ``cache`` aliases ``checkpoint``: the journal doubles as a
+    content-addressed result cache, so re-running a completed scan
+    replays every grid point from disk without spawning workers."""
+    if cache is not None:
+        checkpoint = cache
     resilience = {}
     if checkpoint is not None:
         resilience = {"checkpoint": checkpoint, "resume": resume}

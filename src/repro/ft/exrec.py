@@ -158,6 +158,18 @@ class SteaneECProtocol:
                 self.extraction.extraction_circuit(), noise, backend="legacy"
             )
 
+    def __getstate__(self) -> dict:
+        # The packed work buffers are scratch — their contents are whatever
+        # the last round left behind.  They must not travel in the pickle:
+        # the result cache's content-addressed run keys hash pickled
+        # protocols, so leaked scratch would make a protocol's identity
+        # depend on what it happened to execute last (and bloat the pickle
+        # shipped to every worker).  Rebuilt lazily on first use.
+        state = dict(self.__dict__)
+        if "_buffers" in state:
+            state = {**state, "_buffers": {}}
+        return state
+
     @property
     def data_qubits(self) -> int:
         return self.code.n
@@ -364,6 +376,14 @@ class ShorECProtocol:
                 w: FrameSimulator(self.extraction.ancilla_factory(w)[0], noise, backend="legacy")
                 for w in self.extraction.factory_widths()
             }
+
+    def __getstate__(self) -> dict:
+        # Scratch buffers never travel in the pickle — see
+        # SteaneECProtocol.__getstate__ (run-key identity + worker payload).
+        state = dict(self.__dict__)
+        if "_buffers" in state:
+            state = {**state, "_buffers": {}}
+        return state
 
     @property
     def data_qubits(self) -> int:

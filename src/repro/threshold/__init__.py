@@ -53,12 +53,18 @@ from repro.threshold.runtime import (
     ShardRetryExhausted,
     ShardTimeout,
 )
-from repro.threshold.chaos import ChaosError, ChaosPlan
+from repro.threshold.chaos import ChaosError, ChaosPlan, IOChaosPlan
 from repro.threshold.journal import (
+    CacheCorrupt,
     CheckpointJournal,
+    JournalDegraded,
     JournalMismatch,
+    JournalSchemaError,
+    compute_physics_key,
     compute_run_key,
+    row_checksum,
 )
+from repro.threshold.cache import CacheLookup, ResultCache
 from repro.threshold.resources import (
     FactoringProblem,
     FactoringPlan,
@@ -98,9 +104,17 @@ __all__ = [
     "ShardTimeout",
     "ChaosError",
     "ChaosPlan",
+    "IOChaosPlan",
+    "CacheCorrupt",
+    "CacheLookup",
     "CheckpointJournal",
+    "JournalDegraded",
     "JournalMismatch",
+    "JournalSchemaError",
+    "ResultCache",
+    "compute_physics_key",
     "compute_run_key",
+    "row_checksum",
     "FactoringProblem",
     "FactoringPlan",
     "plan_factoring",

@@ -32,13 +32,55 @@ degradation.
 In-process (``workers=1``) execution maps every fault kind to
 :class:`ChaosError`: a real crash or hang would take down the driver
 process itself, but the retry bookkeeping being tested is identical.
+
+I/O fault kinds
+---------------
+The persistence path (checkpoint journal / result cache) has its own
+fault plane: :class:`IOChaosPlan` + :class:`ChaosConnection` wrap the
+journal's sqlite connection and inject faults on planned *write ordinals*
+(the 1-based count of DML statements — INSERT/UPDATE/DELETE/REPLACE —
+executed through the connection; reads and PRAGMAs are never counted).
+
+``"io_error_on_write"``
+    The write raises ``sqlite3.OperationalError("disk I/O error")`` — a
+    dying disk or yanked volume; the run must degrade to uncheckpointed
+    execution (``JournalDegraded``), never die.
+``"disk_full"``
+    ``sqlite3.OperationalError("database or disk is full")`` — same
+    contract as above, the classic overnight-scan killer.
+``"lock_contention"``
+    ``sqlite3.OperationalError("database is locked")`` — transient
+    contention from a concurrent driver; the runtime's bounded retry
+    should absorb a short burst and degrade only past the budget.
+    Retries re-execute the statement and advance the write counter, so a
+    burst is modelled as *consecutive* planned ordinals.
+``"corrupt_row"``
+    The nastiest: the write *succeeds* but the stored ``failures`` value
+    is silently tampered while its checksum stays stale — bit rot /
+    torn-write simulation.  Nothing fails now; the next run's checksum
+    verification must quarantine the row (``CacheCorrupt``) and recompute
+    the shard.  Only meaningful on ``shard_results`` inserts; planned on
+    any other statement it is a no-op.
 """
 
 from __future__ import annotations
 
-__all__ = ["ChaosError", "ChaosPlan", "VALID_FAULTS"]
+import sqlite3
+
+__all__ = [
+    "ChaosConnection",
+    "ChaosError",
+    "ChaosPlan",
+    "IOChaosPlan",
+    "IO_FAULTS",
+    "VALID_FAULTS",
+]
 
 VALID_FAULTS = frozenset({"crash", "hang", "exception", "unpicklable"})
+
+IO_FAULTS = frozenset(
+    {"io_error_on_write", "disk_full", "corrupt_row", "lock_contention"}
+)
 
 
 class ChaosError(RuntimeError):
@@ -109,6 +151,98 @@ class ChaosPlan:
             f"ChaosPlan({self.faults!r}, times={self.times}, "
             f"hang_seconds={self.hang_seconds})"
         )
+
+
+class IOChaosPlan:
+    """Deterministic I/O fault plan for the journal/cache sqlite connection.
+
+    Parameters
+    ----------
+    faults:
+        Mapping of write ordinal (1-based, counted over DML statements the
+        wrapped connection executes) → fault kind (one of
+        :data:`IO_FAULTS`).  The counter is stateful and driver-side only:
+        the plan is never shipped to workers, so a run's write sequence —
+        run registration, then one insert per finished shard — is exactly
+        reproducible and ordinals address it directly.
+    """
+
+    def __init__(self, faults: dict[int, str]) -> None:
+        bad = {kind for kind in faults.values() if kind not in IO_FAULTS}
+        if bad:
+            raise ValueError(
+                f"unknown I/O fault kinds {sorted(bad)}; valid: {sorted(IO_FAULTS)}"
+            )
+        if any(int(ordinal) < 1 for ordinal in faults):
+            raise ValueError("write ordinals are 1-based")
+        self.faults = {int(ordinal): kind for ordinal, kind in faults.items()}
+        self.writes_seen = 0
+
+    def next_write_fault(self) -> str | None:
+        """Advance the write counter; fault planned for this write, if any."""
+        self.writes_seen += 1
+        return self.faults.get(self.writes_seen)
+
+    def reset(self) -> None:
+        """Rewind the counter (reuse one plan across independent tests)."""
+        self.writes_seen = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IOChaosPlan({self.faults!r}, writes_seen={self.writes_seen})"
+
+
+_WRITE_PREFIXES = ("INSERT", "UPDATE", "DELETE", "REPLACE")
+
+
+def _tamper_shard_params(sql: str, parameters: tuple) -> tuple:
+    """Flip the ``failures`` value of a shard-result insert while leaving
+    its (now stale) checksum in place — the persisted row is silently
+    wrong, exactly like bit rot, and only checksum verification on the
+    next read can catch it."""
+    if "shard_results" not in sql or len(parameters) < 6:
+        return parameters
+    tampered = list(parameters)
+    tampered[3] = int(tampered[3]) ^ 1
+    return tuple(tampered)
+
+
+class ChaosConnection:
+    """Fault-wrapping sqlite connection proxy (I/O chaos injection).
+
+    Delegates everything to the real connection, but consults the
+    :class:`IOChaosPlan` before executing each DML statement.  Injected
+    errors are real ``sqlite3.OperationalError``s, so the journal's
+    callers exercise exactly the handling a real disk fault would hit.
+    """
+
+    def __init__(self, conn: sqlite3.Connection, plan: IOChaosPlan) -> None:
+        self._conn = conn
+        self._plan = plan
+
+    def execute(self, sql: str, parameters: tuple = ()):  # noqa: ANN201
+        if sql.lstrip().upper().startswith(_WRITE_PREFIXES):
+            fault = self._plan.next_write_fault()
+            if fault == "io_error_on_write":
+                raise sqlite3.OperationalError("chaos: disk I/O error")
+            if fault == "disk_full":
+                raise sqlite3.OperationalError("chaos: database or disk is full")
+            if fault == "lock_contention":
+                raise sqlite3.OperationalError("chaos: database is locked")
+            if fault == "corrupt_row":
+                parameters = _tamper_shard_params(sql, parameters)
+        return self._conn.execute(sql, parameters)
+
+    def executescript(self, script: str):  # noqa: ANN201
+        return self._conn.executescript(script)
+
+    def commit(self) -> None:
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __getattr__(self, name: str):
+        return getattr(self._conn, name)
 
 
 class _UnpicklableResult:

@@ -75,13 +75,14 @@ class PseudoThresholdNotBracketed(RuntimeError):
 
 
 def _wants_sharded(resilience: dict) -> bool:
-    """Checkpoint journaling and chaos injection only exist on the sharded
-    driver, so either knob routes a ``workers=1`` call through it (other
-    resilience knobs are no-ops without sharding — a serial unsharded run
-    has nothing to retry)."""
+    """Checkpoint journaling and chaos injection (worker-level or I/O-level)
+    only exist on the sharded driver, so any of those knobs routes a
+    ``workers=1`` call through it (other resilience knobs are no-ops
+    without sharding — a serial unsharded run has nothing to retry)."""
     return (
         resilience.get("checkpoint") is not None
         or resilience.get("chaos") is not None
+        or resilience.get("io_chaos") is not None
     )
 
 

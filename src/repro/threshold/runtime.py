@@ -20,10 +20,22 @@ every completed shard.  This module replaces it with per-shard ``submit``
 * **a structured exception taxonomy** — :class:`ShardTimeout`,
   :class:`ShardRetryExhausted` (with the last underlying error attached)
   replace bare pool errors;
-* **checkpoint journaling** — with ``checkpoint=`` set, every finished
-  shard streams into :class:`repro.threshold.journal.CheckpointJournal`
-  and ``resume=True`` replays finished shards from disk, re-executing
-  only the remainder.
+* **checkpoint journaling / result caching** — with ``checkpoint=`` set,
+  every finished shard streams into
+  :class:`repro.threshold.journal.CheckpointJournal` and ``resume=True``
+  replays finished shards from disk, re-executing only the remainder; a
+  fully cached run returns its pooled counts without ever touching a
+  worker pool;
+* **a storage-fault firewall** — every journal open/read/write goes
+  through :class:`_ResilientJournal`: transient lock contention gets a
+  bounded retry with backoff, any other ``sqlite3`` / ``OSError`` fault
+  (disk full, readonly filesystem, torn WAL, corrupt file) degrades the
+  run to *uncheckpointed* execution with a
+  :class:`~repro.threshold.journal.JournalDegraded` warning — storage
+  faults may cost durability and cache reuse, never the run — and rows
+  failing checksum/plan validation are quarantined
+  (:class:`~repro.threshold.journal.CacheCorrupt`) and recomputed instead
+  of replayed.
 
 Correctness under all of this is free: each shard is a pure function of
 its ``(kind, args, shard_shots, SeedSequence)`` spec, so a retried,
@@ -44,6 +56,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import sqlite3
 import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
@@ -52,8 +65,14 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.threshold.chaos import ChaosError, ChaosPlan, _UnpicklableResult
-from repro.threshold.journal import CheckpointJournal, JournalMismatch
+from repro.threshold.chaos import ChaosError, ChaosPlan, IOChaosPlan, _UnpicklableResult
+from repro.threshold.journal import (
+    CacheCorrupt,
+    CheckpointJournal,
+    JournalDegraded,
+    JournalMismatch,
+    JournalSchemaError,
+)
 
 __all__ = [
     "ResilienceOptions",
@@ -73,6 +92,9 @@ _BACKOFF_CAP = 5.0
 _CHAOS_EXIT_CODE = 13
 # Budget for reaping workers at interpreter exit / pool replacement.
 _REAP_SECONDS = 2.0
+# Bounded retry budget for transient journal lock contention ("database is
+# locked"/"busy") before a write degrades the run to uncheckpointed.
+_JOURNAL_LOCK_RETRIES = 4
 
 
 # ----------------------------------------------------------------------
@@ -123,11 +145,14 @@ class ResilienceOptions:
 
     ``max_retries`` bounds *re*-executions per shard (total attempts =
     ``1 + max_retries``).  ``shard_timeout=None`` disables hung-worker
-    detection.  ``backoff`` seeds the exponential retry/rebuild sleep.
-    ``checkpoint`` names the journal database; ``resume=False`` clears any
-    prior rows for this run key first.  ``chaos`` deterministically
-    injects faults (tests only).  ``degrade=False`` turns exhaustion into
-    :class:`ShardRetryExhausted` instead of in-process fallback.
+    detection.  ``backoff`` seeds the exponential retry/rebuild sleep
+    (shard retries *and* journal lock retries).  ``checkpoint`` names the
+    journal/result-cache database; ``resume=False`` clears any prior rows
+    for this run key first.  ``chaos`` deterministically injects worker
+    faults and ``io_chaos`` storage faults (tests only).  ``degrade=False``
+    turns exhaustion into :class:`ShardRetryExhausted` instead of
+    in-process fallback (journal degradation is never fatal regardless —
+    losing durability is not losing the run).
     """
 
     max_retries: int = 2
@@ -137,6 +162,7 @@ class ResilienceOptions:
     resume: bool = True
     chaos: ChaosPlan | None = None
     degrade: bool = True
+    io_chaos: IOChaosPlan | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -243,6 +269,130 @@ atexit.register(_shutdown_pools)
 
 
 # ----------------------------------------------------------------------
+# Storage-fault firewall.
+# ----------------------------------------------------------------------
+def _is_lock_error(exc: sqlite3.OperationalError) -> bool:
+    text = str(exc).lower()
+    return "locked" in text or "busy" in text
+
+
+class _ResilientJournal:
+    """Wraps :class:`CheckpointJournal` in the run's fault philosophy:
+    every operation either succeeds (after a bounded lock-contention
+    retry) or degrades the run to uncheckpointed execution with a
+    :class:`JournalDegraded` warning — a storage fault may cost durability
+    and cache reuse, never the run itself.
+
+    After a hard fault the journal handle is dropped and every later
+    operation is a silent no-op: the run was warned once, loudly, and then
+    left alone to finish.
+    """
+
+    def __init__(self, checkpoint: str | Path, run_key: str, opts: "ResilienceOptions") -> None:
+        self._journal: CheckpointJournal | None = None
+        self._run_key = run_key
+        self._backoff = opts.backoff
+        try:
+            self._journal = CheckpointJournal(checkpoint, io_chaos=opts.io_chaos)
+        except JournalSchemaError:
+            # Deliberate migration-or-refuse: an unknown schema is a user
+            # decision (wrong file / newer writer), not a runtime fault.
+            raise
+        except (sqlite3.Error, OSError) as exc:
+            self._degrade("opening", exc)
+
+    @property
+    def active(self) -> bool:
+        return self._journal is not None
+
+    def _degrade(self, doing: str, exc: BaseException) -> None:
+        warnings.warn(
+            f"checkpoint journal unavailable while {doing} ({exc!r}); "
+            f"continuing uncheckpointed — results are unaffected, only "
+            f"crash-resume durability and cache reuse are lost",
+            JournalDegraded,
+            stacklevel=5,
+        )
+        if self._journal is not None:
+            try:
+                self._journal.close()
+            except Exception:
+                pass
+        self._journal = None
+
+    def _attempt(self, doing: str, fn):
+        """Run one journal operation; retry lock contention, degrade on
+        anything else.  Returns the operation's result or None."""
+        if self._journal is None:
+            return None
+        for attempt in range(1, 2 + _JOURNAL_LOCK_RETRIES):
+            try:
+                return fn()
+            except sqlite3.OperationalError as exc:
+                if _is_lock_error(exc) and attempt <= _JOURNAL_LOCK_RETRIES:
+                    _backoff_sleep(self._backoff, attempt)
+                    continue
+                self._degrade(doing, exc)
+                return None
+            except (sqlite3.Error, OSError) as exc:
+                self._degrade(doing, exc)
+                return None
+        return None  # pragma: no cover - loop always returns or degrades
+
+    def register(
+        self, kind: str, shots: int, num_shards: int, physics_key: str | None
+    ) -> None:
+        def _do() -> None:
+            try:
+                self._journal.register_run(
+                    self._run_key, kind, shots, num_shards, physics_key
+                )
+            except JournalMismatch as exc:
+                # Same run key, contradictory metadata: definitionally
+                # stale or corrupt (the key pins kind/shots/shard count).
+                # Quarantine and start the run fresh instead of dying.
+                warnings.warn(
+                    f"cached metadata for run {self._run_key[:12]}… "
+                    f"contradicts this run ({exc}); quarantining its rows "
+                    f"and recomputing",
+                    CacheCorrupt,
+                    stacklevel=7,
+                )
+                self._journal.quarantine_run(self._run_key, "metadata mismatch")
+                self._journal.register_run(
+                    self._run_key, kind, shots, num_shards, physics_key
+                )
+
+        self._attempt("registering the run", _do)
+
+    def resume_counts(self, sizes: list[int]) -> dict[int, tuple[int, int]]:
+        counts = self._attempt(
+            "reading completed shards",
+            lambda: self._journal.completed_shards(self._run_key, expected_sizes=sizes),
+        )
+        return counts or {}
+
+    def record(self, idx: int, shots: int, failures: int) -> None:
+        self._attempt(
+            "recording a finished shard",
+            lambda: self._journal.record_shard(self._run_key, idx, shots, failures),
+        )
+
+    def clear(self) -> None:
+        self._attempt(
+            "clearing the run", lambda: self._journal.clear_run(self._run_key)
+        )
+
+    def close(self) -> None:
+        if self._journal is not None:
+            try:
+                self._journal.close()
+            except Exception:
+                pass
+            self._journal = None
+
+
+# ----------------------------------------------------------------------
 # Driver side.
 # ----------------------------------------------------------------------
 def _run_shard_inprocess(spec: tuple) -> tuple[int, int]:
@@ -261,15 +411,21 @@ def execute_shards(
     workers: int,
     options: ResilienceOptions | None = None,
     run_key: str | None = None,
+    physics_key: str | None = None,
 ) -> list[tuple[int, int]]:
-    """Execute every shard spec, surviving worker faults; returns
-    ``(shots, failures)`` per shard, in shard order.
+    """Execute every shard spec, surviving worker *and* storage faults;
+    returns ``(shots, failures)`` per shard, in shard order.
 
     ``workers == 1`` executes in-process (with the same retry accounting
-    and journaling).  With ``options.checkpoint`` set, completed shards
-    stream into the journal under ``run_key`` and — when
-    ``options.resume`` — previously recorded shards are replayed from
-    disk instead of re-executed.
+    and journaling).  With ``options.checkpoint`` set, the store is
+    consulted **before computing**: previously recorded shards (validated
+    — checksummed, plan-checked; bad rows quarantined with
+    :class:`CacheCorrupt` and recomputed) are replayed from disk when
+    ``options.resume``, and a full hit returns without a worker pool ever
+    being created.  Completed shards stream into the journal under
+    ``run_key`` (tagged with ``physics_key`` for cross-run pooling), and
+    every storage fault on the way degrades the run to uncheckpointed
+    execution (:class:`JournalDegraded`) instead of killing it.
     """
     opts = options or ResilienceOptions()
     results: dict[int, tuple[int, int]] = {}
@@ -278,37 +434,24 @@ def execute_shards(
     if opts.checkpoint is not None:
         if run_key is None:
             raise ValueError("checkpointed execution requires a run_key")
-        journal = CheckpointJournal(opts.checkpoint)
-        journal.register_run(
-            run_key,
-            kind=specs[0][0] if specs else "?",
-            shots=sum(spec[2] for spec in specs),
-            num_shards=len(specs),
-        )
-        if opts.resume:
-            for idx, (shots, failures) in journal.completed_shards(run_key).items():
-                if idx >= len(specs) or specs[idx][2] != shots:
-                    raise JournalMismatch(
-                        f"journal row (shard {idx}, shots {shots}) does not fit "
-                        f"this run's shard plan; refusing to resume from "
-                        f"{opts.checkpoint}"
-                    )
-                results[idx] = (shots, failures)
-            pending = [i for i in pending if i not in results]
-        else:
-            journal.clear_run(run_key)
-            journal.register_run(
-                run_key,
-                kind=specs[0][0] if specs else "?",
-                shots=sum(spec[2] for spec in specs),
-                num_shards=len(specs),
-            )
+        journal = _ResilientJournal(opts.checkpoint, run_key, opts)
+        if journal.active:
+            kind = specs[0][0] if specs else "?"
+            total_shots = sum(spec[2] for spec in specs)
+            if not opts.resume:
+                journal.clear()
+            journal.register(kind, total_shots, len(specs), physics_key)
+            if opts.resume:
+                sizes = [spec[2] for spec in specs]
+                for idx, counts in journal.resume_counts(sizes).items():
+                    results[idx] = counts
+                pending = [i for i in pending if i not in results]
     try:
         if pending:
             if workers == 1:
-                _execute_serial(specs, pending, results, journal, run_key, opts)
+                _execute_serial(specs, pending, results, journal, opts)
             else:
-                _execute_pool(specs, pending, workers, results, journal, run_key, opts)
+                _execute_pool(specs, pending, workers, results, journal, opts)
     finally:
         if journal is not None:
             journal.close()
@@ -317,15 +460,14 @@ def execute_shards(
 
 def _record(
     results: dict,
-    journal: CheckpointJournal | None,
-    run_key: str | None,
+    journal: "_ResilientJournal | None",
     idx: int,
     shots: int,
     failures: int,
 ) -> None:
     results[idx] = (shots, failures)
     if journal is not None:
-        journal.record_shard(run_key, idx, shots, failures)
+        journal.record(idx, shots, failures)
 
 
 def _degrade_shard(
@@ -335,7 +477,6 @@ def _degrade_shard(
     last_error: BaseException | None,
     results: dict,
     journal,
-    run_key,
     opts: ResilienceOptions,
 ) -> None:
     """Last resort: run the shard in-process (no chaos, no pool).  The
@@ -353,7 +494,7 @@ def _degrade_shard(
         shots, failures = _run_shard_inprocess(specs[idx])
     except Exception as exc:
         raise ShardRetryExhausted(idx, attempts + 1, exc) from exc
-    _record(results, journal, run_key, idx, shots, failures)
+    _record(results, journal, idx, shots, failures)
 
 
 def _execute_serial(
@@ -361,7 +502,6 @@ def _execute_serial(
     pending: list[int],
     results: dict,
     journal,
-    run_key,
     opts: ResilienceOptions,
 ) -> None:
     """In-process execution with the same retry/degradation accounting.
@@ -387,11 +527,11 @@ def _execute_serial(
                 if attempt < allowed:
                     _backoff_sleep(opts.backoff, attempt)
                 continue
-            _record(results, journal, run_key, idx, shots, failures)
+            _record(results, journal, idx, shots, failures)
             break
         else:
             _degrade_shard(
-                specs, idx, allowed, last_error, results, journal, run_key, opts
+                specs, idx, allowed, last_error, results, journal, opts
             )
 
 
@@ -401,7 +541,6 @@ def _execute_pool(
     workers: int,
     results: dict,
     journal,
-    run_key,
     opts: ResilienceOptions,
 ) -> None:
     allowed = 1 + opts.max_retries
@@ -473,7 +612,7 @@ def _execute_pool(
                     if on_failure(idx, exc):
                         retries.append(idx)
                     continue
-                _record(results, journal, run_key, idx, shots, failures)
+                _record(results, journal, idx, shots, failures)
 
             timed_out: set[int] = set()
             if opts.shard_timeout is not None:
@@ -543,6 +682,5 @@ def _execute_pool(
             last_error.get(idx),
             results,
             journal,
-            run_key,
             opts,
         )

@@ -23,9 +23,13 @@ Determinism contract
 
 Execution is supervised by :mod:`repro.threshold.runtime` (per-shard
 timeouts, bounded retry with backoff, pool replacement on
-``BrokenProcessPool``, in-process degradation) and optionally journaled
-by :mod:`repro.threshold.journal` under a content-addressed run key, so a
-killed scan resumes from disk re-executing only unfinished shards.  The
+``BrokenProcessPool``, in-process degradation) and optionally cached
+by :mod:`repro.threshold.journal` under a content-addressed run key: the
+store is consulted *before* computing, so a repeated identical run
+replays its pooled counts without spawning a pool, a killed scan resumes
+from disk re-executing only unfinished shards, and corrupted rows are
+quarantined and recomputed rather than replayed (see
+:mod:`repro.threshold.cache` for the cross-run pooling API).  The
 resilience knobs (``max_retries``, ``shard_timeout``, ``checkpoint``,
 ``resume``, ...) are keyword arguments on both entry points here and are
 threaded through every Monte Carlo caller.
@@ -44,8 +48,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.threshold.chaos import ChaosPlan
-from repro.threshold.journal import compute_run_key
+from repro.threshold.chaos import ChaosPlan, IOChaosPlan
+from repro.threshold.journal import compute_physics_key, compute_run_key
 from repro.threshold.runtime import ResilienceOptions, execute_shards
 from repro.util.stats import binomial_confidence, logical_error_per_round
 
@@ -186,6 +190,7 @@ def _execute(
     workers: int,
     options: ResilienceOptions | None = None,
     run_key: str | None = None,
+    physics_key: str | None = None,
 ) -> list[tuple[int, int]]:
     if workers > len(specs):
         warnings.warn(
@@ -194,7 +199,9 @@ def _execute(
             stacklevel=3,
         )
         workers = len(specs)
-    return execute_shards(specs, workers, options=options, run_key=run_key)
+    return execute_shards(
+        specs, workers, options=options, run_key=run_key, physics_key=physics_key
+    )
 
 
 def _pooled_result(counts: list[tuple[int, int]], rounds: int):
@@ -216,6 +223,7 @@ def _resilience_options(
     resume: bool,
     chaos: ChaosPlan | None,
     degrade: bool,
+    io_chaos: IOChaosPlan | None = None,
 ) -> ResilienceOptions:
     defaults = ResilienceOptions()
     return ResilienceOptions(
@@ -226,6 +234,7 @@ def _resilience_options(
         resume=resume,
         chaos=chaos,
         degrade=degrade,
+        io_chaos=io_chaos,
     )
 
 
@@ -240,10 +249,13 @@ def _run_sharded(
     options: ResilienceOptions,
 ):
     specs, fingerprint = _build_specs(kind, args, shots, seed, num_shards)
-    run_key = None
+    run_key = physics_key = None
     if options.checkpoint is not None:
         run_key = compute_run_key(kind, args, shots, fingerprint, len(specs))
-    return _pooled_result(_execute(specs, workers, options, run_key), rounds)
+        physics_key = compute_physics_key(kind, args)
+    return _pooled_result(
+        _execute(specs, workers, options, run_key, physics_key), rounds
+    )
 
 
 def sharded_memory_experiment(
@@ -262,6 +274,7 @@ def sharded_memory_experiment(
     resume: bool = True,
     chaos: ChaosPlan | None = None,
     degrade: bool = True,
+    io_chaos: IOChaosPlan | None = None,
 ):
     """Shot-sharded :func:`~repro.threshold.montecarlo.memory_experiment`.
 
@@ -273,11 +286,21 @@ def sharded_memory_experiment(
 
     Resilience knobs (see :class:`repro.threshold.runtime.ResilienceOptions`):
     ``max_retries``/``shard_timeout``/``backoff`` bound and pace shard
-    retries, ``checkpoint=`` journals finished shards into a sqlite file
-    keyed by the content-addressed run key and ``resume=True`` replays
-    them after a crash, ``chaos`` injects deterministic faults (tests),
-    and ``degrade=False`` raises ``ShardRetryExhausted`` instead of
-    falling back to in-process execution.
+    retries, ``chaos``/``io_chaos`` inject deterministic worker/storage
+    faults (tests), and ``degrade=False`` raises ``ShardRetryExhausted``
+    instead of falling back to in-process execution.
+
+    ``checkpoint=`` names the sqlite **result cache**: the store is
+    consulted by content-addressed run key *before* computing — a repeated
+    identical run replays its pooled counts from disk without creating a
+    worker pool, a partial run resumes re-executing only unfinished
+    shards, and every finished shard commits immediately (crash-safe).
+    Rows failing checksum/plan validation are quarantined
+    (``CacheCorrupt``) and recomputed; storage faults degrade the run to
+    uncheckpointed execution (``JournalDegraded``) instead of killing it.
+    ``resume=False`` clears this run's rows first.  Completed runs over
+    the same physics pool across seeds via
+    :meth:`repro.threshold.cache.ResultCache.pooled_counts`.
     """
     if workers < 1:
         raise ValueError("workers must be positive")
@@ -286,12 +309,14 @@ def sharded_memory_experiment(
         and num_shards is None
         and checkpoint is None
         and chaos is None
+        and io_chaos is None
     ):
         from repro.threshold.montecarlo import memory_experiment
 
         return memory_experiment(protocol, code, rounds, shots, seed)
     options = _resilience_options(
-        max_retries, shard_timeout, backoff, checkpoint, resume, chaos, degrade
+        max_retries, shard_timeout, backoff, checkpoint, resume, chaos, degrade,
+        io_chaos,
     )
     return _run_sharded(
         "memory", (protocol, code, rounds), rounds, shots, seed, workers,
@@ -315,10 +340,11 @@ def sharded_code_capacity_memory(
     resume: bool = True,
     chaos: ChaosPlan | None = None,
     degrade: bool = True,
+    io_chaos: IOChaosPlan | None = None,
 ):
     """Shot-sharded :func:`~repro.threshold.montecarlo.code_capacity_memory`.
 
-    Same contract and resilience knobs as
+    Same contract, resilience knobs, and result-cache semantics as
     :func:`sharded_memory_experiment`.
     """
     if workers < 1:
@@ -328,12 +354,14 @@ def sharded_code_capacity_memory(
         and num_shards is None
         and checkpoint is None
         and chaos is None
+        and io_chaos is None
     ):
         from repro.threshold.montecarlo import code_capacity_memory
 
         return code_capacity_memory(code, eps, rounds, shots, seed)
     options = _resilience_options(
-        max_retries, shard_timeout, backoff, checkpoint, resume, chaos, degrade
+        max_retries, shard_timeout, backoff, checkpoint, resume, chaos, degrade,
+        io_chaos,
     )
     return _run_sharded(
         "capacity", (code, eps, rounds), rounds, shots, seed, workers,

@@ -1,0 +1,350 @@
+"""The content-addressed result cache: read-before-compute, cross-run
+pooling, schema versioning/migration, and cache maintenance.
+
+The acceptance contract under test:
+
+* a repeated identical run returns its cached pooled counts without a
+  worker pool ever being created;
+* two completed runs over the same physics with different seeds pool into
+  one merged higher-shot answer (and runs with different physics, or
+  incomplete runs, never leak into the pool);
+* a v0 (PR 6 layout) journal migrates in place and keeps replaying; an
+  unknown/newer schema version is refused, never guessed at.
+"""
+
+import sqlite3
+import time
+
+import pytest
+
+from repro.codes import SteaneCode
+from repro.threshold import (
+    CacheCorrupt,
+    CheckpointJournal,
+    JournalSchemaError,
+    ResultCache,
+    compute_physics_key,
+    compute_run_key,
+    row_checksum,
+    sharded_code_capacity_memory,
+)
+from repro.threshold import runtime, sharded
+from repro.threshold.journal import _SCHEMA_VERSION
+
+
+EPS = 0.08
+SHOTS = 400
+SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def code():
+    return SteaneCode()
+
+
+@pytest.fixture()
+def cache_path(tmp_path):
+    return tmp_path / "cache.sqlite"
+
+
+def capacity_key(code, eps, shots, seed, num_shards):
+    specs, fingerprint = sharded._build_specs(
+        "capacity", (code, eps, 1), shots, seed, num_shards
+    )
+    return compute_run_key(
+        "capacity", (code, eps, 1), shots, fingerprint, len(specs)
+    )
+
+
+def run_capacity(code, cache_path, seed, shots=SHOTS, eps=EPS, **kw):
+    return sharded_code_capacity_memory(
+        code, eps, rounds=1, shots=shots, seed=seed, workers=1,
+        num_shards=SHARDS, checkpoint=cache_path, **kw,
+    )
+
+
+class TestReadBeforeCompute:
+    def test_full_hit_never_creates_a_pool(
+        self, code, cache_path, monkeypatch
+    ):
+        """THE tentpole acceptance test: once a run is fully cached, asking
+        for it again — even with workers=4 — answers from the store without
+        ``ProcessPoolExecutor`` ever being touched."""
+        first = run_capacity(code, cache_path, seed=11)
+
+        def pool_bomb(workers):
+            raise AssertionError(
+                "worker pool requested on a full cache hit"
+            )
+
+        monkeypatch.setattr(runtime, "_get_pool", pool_bomb)
+        replayed = sharded_code_capacity_memory(
+            code, EPS, rounds=1, shots=SHOTS, seed=11, workers=4,
+            num_shards=SHARDS, checkpoint=cache_path,
+        )
+        assert replayed == first
+
+    def test_full_hit_executes_no_shards(self, code, cache_path, monkeypatch):
+        run_capacity(code, cache_path, seed=11)
+        calls = []
+        original = sharded._run_shard
+        monkeypatch.setattr(
+            sharded, "_run_shard",
+            lambda spec: calls.append(spec) or original(spec),
+        )
+        run_capacity(code, cache_path, seed=11)
+        assert calls == []
+
+    def test_partial_hit_resumes_remainder(self, code, cache_path, monkeypatch):
+        base = run_capacity(code, cache_path, seed=11)
+        key = capacity_key(code, EPS, SHOTS, 11, SHARDS)
+        with CheckpointJournal(cache_path) as journal:
+            journal._conn.execute(
+                "DELETE FROM shard_results WHERE run_key=? AND shard_index IN (1, 3)",
+                (key,),
+            )
+            journal._conn.commit()
+        calls = []
+        original = sharded._run_shard
+        monkeypatch.setattr(
+            sharded, "_run_shard",
+            lambda spec: calls.append(spec) or original(spec),
+        )
+        resumed = run_capacity(code, cache_path, seed=11)
+        assert len(calls) == 2
+        assert resumed == base
+
+
+class TestCacheLookup:
+    def test_statuses(self, code, cache_path):
+        run_capacity(code, cache_path, seed=11)
+        key = capacity_key(code, EPS, SHOTS, 11, SHARDS)
+        sizes = sharded.shard_sizes(SHOTS, SHARDS)
+        with ResultCache(cache_path) as cache:
+            hit = cache.lookup(key, sizes)
+            assert hit.status == "full"
+            assert hit.shots == SHOTS
+            assert sorted(hit.counts) == [0, 1, 2, 3]
+            assert cache.lookup("no-such-key", sizes).status == "miss"
+            cache.journal._conn.execute(
+                "DELETE FROM shard_results WHERE run_key=? AND shard_index=0",
+                (key,),
+            )
+            cache.journal._conn.commit()
+            partial = cache.lookup(key, sizes)
+            assert partial.status == "partial"
+            assert partial.shots == SHOTS - sizes[0]
+
+    def test_lookup_quarantines_tampered_row(self, code, cache_path):
+        run_capacity(code, cache_path, seed=11)
+        key = capacity_key(code, EPS, SHOTS, 11, SHARDS)
+        sizes = sharded.shard_sizes(SHOTS, SHARDS)
+        with ResultCache(cache_path) as cache:
+            cache.journal._conn.execute(
+                "UPDATE shard_results SET failures = failures + 5 "
+                "WHERE run_key=? AND shard_index=2",
+                (key,),
+            )
+            cache.journal._conn.commit()
+            with pytest.warns(CacheCorrupt):
+                hit = cache.lookup(key, sizes)
+            assert hit.status == "partial"
+            assert 2 not in hit.counts
+            assert cache.stats()["quarantined_rows"] == 1
+
+
+class TestCrossRunPooling:
+    def test_same_physics_different_seeds_pool(self, code, cache_path):
+        a = run_capacity(code, cache_path, seed=11)
+        b = run_capacity(code, cache_path, seed=12)
+        with ResultCache(cache_path) as cache:
+            shots, failures = cache.pooled_counts("capacity", (code, EPS, 1))
+            assert shots == a.shots + b.shots
+            assert failures == a.failures + b.failures
+            assert len(cache.pooled_runs("capacity", (code, EPS, 1))) == 2
+
+    def test_pooled_result_recomputes_wilson_bounds(self, code, cache_path):
+        from repro.util.stats import binomial_confidence
+
+        a = run_capacity(code, cache_path, seed=11)
+        b = run_capacity(code, cache_path, seed=12)
+        with ResultCache(cache_path) as cache:
+            pooled = cache.pooled_result("capacity", (code, EPS, 1), rounds=1)
+        assert pooled.shots == a.shots + b.shots
+        assert pooled.failures == a.failures + b.failures
+        est, low, high = binomial_confidence(pooled.failures, pooled.shots)
+        assert (pooled.failure_rate, pooled.low, pooled.high) == (est, low, high)
+        # The pooled interval is tighter than either constituent's.
+        assert (pooled.high - pooled.low) <= min(a.high - a.low, b.high - b.low)
+
+    def test_different_physics_never_pool(self, code, cache_path):
+        run_capacity(code, cache_path, seed=11)
+        other = run_capacity(code, cache_path, seed=11, eps=0.05)
+        with ResultCache(cache_path) as cache:
+            shots, failures = cache.pooled_counts("capacity", (code, 0.05, 1))
+            assert (shots, failures) == (other.shots, other.failures)
+
+    def test_incomplete_runs_excluded_from_pool(self, code, cache_path):
+        a = run_capacity(code, cache_path, seed=11)
+        run_capacity(code, cache_path, seed=12)
+        key_b = capacity_key(code, EPS, SHOTS, 12, SHARDS)
+        with ResultCache(cache_path) as cache:
+            cache.journal._conn.execute(
+                "DELETE FROM shard_results WHERE run_key=? AND shard_index=0",
+                (key_b,),
+            )
+            cache.journal._conn.commit()
+            shots, failures = cache.pooled_counts("capacity", (code, EPS, 1))
+            assert (shots, failures) == (a.shots, a.failures)
+
+    def test_pool_empty_without_completed_runs(self, code, cache_path):
+        with ResultCache(cache_path) as cache:
+            assert cache.pooled_counts("capacity", (code, EPS, 1)) == (0, 0)
+            assert cache.pooled_result("capacity", (code, EPS, 1), rounds=1) is None
+
+    def test_physics_key_excludes_seed_shots_shards(self, code):
+        base = compute_physics_key("capacity", (code, EPS, 1))
+        assert compute_physics_key("capacity", (code, EPS, 1)) == base
+        assert compute_physics_key("capacity", (code, 0.05, 1)) != base
+        assert compute_physics_key("memory", (code, EPS, 1)) != base
+
+
+class TestSchemaVersioning:
+    def test_user_version_stamped(self, cache_path):
+        with CheckpointJournal(cache_path):
+            pass
+        conn = sqlite3.connect(cache_path)
+        assert conn.execute("PRAGMA user_version").fetchone()[0] == _SCHEMA_VERSION
+        conn.close()
+
+    def test_v0_journal_migrates_and_replays(self, code, cache_path, monkeypatch):
+        """A PR 6 journal (no checksums/physics keys/quarantine) opens,
+        migrates in place, and its rows keep replaying."""
+        conn = sqlite3.connect(cache_path)
+        conn.executescript(
+            """
+            CREATE TABLE runs (
+                run_key TEXT PRIMARY KEY, kind TEXT NOT NULL,
+                shots INTEGER NOT NULL, num_shards INTEGER NOT NULL,
+                created_unix REAL NOT NULL
+            );
+            CREATE TABLE shard_results (
+                run_key TEXT NOT NULL, shard_index INTEGER NOT NULL,
+                shots INTEGER NOT NULL, failures INTEGER NOT NULL,
+                recorded_unix REAL NOT NULL,
+                PRIMARY KEY (run_key, shard_index)
+            );
+            """
+        )
+        # Seed it with a *real* completed run's rows so the migrated cache
+        # must produce a bit-for-bit replay.
+        base = sharded_code_capacity_memory(
+            code, EPS, rounds=1, shots=SHOTS, seed=11, workers=1,
+            num_shards=SHARDS,
+        )
+        key = capacity_key(code, EPS, SHOTS, 11, SHARDS)
+        sizes = sharded.shard_sizes(SHOTS, SHARDS)
+        specs, _ = sharded._build_specs(
+            "capacity", (code, EPS, 1), SHOTS, 11, SHARDS
+        )
+        conn.execute(
+            "INSERT INTO runs VALUES (?, 'capacity', ?, ?, ?)",
+            (key, SHOTS, SHARDS, time.time()),
+        )
+        for idx, spec in enumerate(specs):
+            shots, failures = sharded._run_shard(spec)
+            conn.execute(
+                "INSERT INTO shard_results VALUES (?, ?, ?, ?, ?)",
+                (key, idx, shots, failures, time.time()),
+            )
+        conn.commit()
+        conn.close()
+
+        calls = []
+        original = sharded._run_shard
+        monkeypatch.setattr(
+            sharded, "_run_shard",
+            lambda spec: calls.append(spec) or original(spec),
+        )
+        replayed = run_capacity(code, cache_path, seed=11)
+        assert calls == []  # the migrated rows replayed, none recomputed
+        assert replayed == base
+        conn = sqlite3.connect(cache_path)
+        assert conn.execute("PRAGMA user_version").fetchone()[0] == _SCHEMA_VERSION
+        # checksums were backfilled at migration
+        for idx, shots, failures, checksum in conn.execute(
+            "SELECT shard_index, shots, failures, checksum FROM shard_results"
+        ):
+            assert checksum == row_checksum(key, idx, shots, failures)
+        conn.close()
+
+    def test_newer_schema_version_refused(self, cache_path):
+        conn = sqlite3.connect(cache_path)
+        conn.execute("PRAGMA user_version = 99")
+        conn.execute("CREATE TABLE t (x)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(JournalSchemaError):
+            CheckpointJournal(cache_path)
+        # The refusal propagates out of a sharded run too — migrate-or-refuse
+        # is a user decision, not a fault to degrade on.
+        with pytest.raises(JournalSchemaError):
+            sharded_code_capacity_memory(
+                SteaneCode(), EPS, rounds=1, shots=SHOTS, seed=11, workers=1,
+                num_shards=SHARDS, checkpoint=cache_path,
+            )
+
+    def test_unrecognized_v0_layout_refused(self, cache_path):
+        conn = sqlite3.connect(cache_path)
+        conn.execute("CREATE TABLE shard_results (weird TEXT)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(JournalSchemaError):
+            CheckpointJournal(cache_path)
+
+
+class TestMaintenance:
+    def test_stats(self, code, cache_path):
+        run_capacity(code, cache_path, seed=11)
+        run_capacity(code, cache_path, seed=12)
+        key = capacity_key(code, EPS, SHOTS, 12, SHARDS)
+        with ResultCache(cache_path) as cache:
+            cache.journal._conn.execute(
+                "DELETE FROM shard_results WHERE run_key=? AND shard_index=0",
+                (key,),
+            )
+            cache.journal._conn.commit()
+            stats = cache.stats()
+        assert stats["runs"] == 2
+        assert stats["complete_runs"] == 1
+        assert stats["shard_rows"] == 2 * SHARDS - 1
+        assert stats["quarantined_rows"] == 0
+        assert stats["schema_version"] == _SCHEMA_VERSION
+        assert stats["bytes"] > 0
+
+    def test_gc_drops_incomplete_and_quarantine(self, code, cache_path):
+        a = run_capacity(code, cache_path, seed=11)
+        run_capacity(code, cache_path, seed=12)
+        key_b = capacity_key(code, EPS, SHOTS, 12, SHARDS)
+        sizes = sharded.shard_sizes(SHOTS, SHARDS)
+        with ResultCache(cache_path) as cache:
+            # Make run B incomplete and plant one quarantined row.
+            cache.journal._conn.execute(
+                "UPDATE shard_results SET failures = failures + 5 "
+                "WHERE run_key=? AND shard_index=0",
+                (key_b,),
+            )
+            cache.journal._conn.commit()
+            with pytest.warns(CacheCorrupt):
+                cache.lookup(key_b, sizes)
+            report = cache.gc()
+            assert report["incomplete_runs_dropped"] == 1
+            assert report["quarantined_rows_purged"] == 1
+            stats = cache.stats()
+            assert stats["runs"] == 1
+            assert stats["complete_runs"] == 1
+            assert stats["shard_rows"] == SHARDS
+            assert stats["quarantined_rows"] == 0
+            # The surviving complete run still answers.
+            shots, failures = cache.pooled_counts("capacity", (code, EPS, 1))
+            assert (shots, failures) == (a.shots, a.failures)

@@ -15,6 +15,7 @@ from repro.codes import SteaneCode
 from repro.ft import SteaneECProtocol
 from repro.noise import circuit_level
 from repro.threshold import (
+    CacheCorrupt,
     CheckpointJournal,
     JournalMismatch,
     compute_run_key,
@@ -138,6 +139,45 @@ class TestJournalStore:
             mode = journal._conn.execute("PRAGMA journal_mode").fetchone()[0]
             assert mode == "wal"
 
+    def test_close_leaves_no_wal_litter(self, journal_path):
+        """close() must truncate the WAL into the main db file: a scratch
+        directory should hold exactly one file afterwards, not a trio of
+        .sqlite/-wal/-shm."""
+        with CheckpointJournal(journal_path) as journal:
+            journal.record_shard("k1", 0, 50, 3)
+        assert not journal_path.with_name(journal_path.name + "-wal").exists()
+        assert not journal_path.with_name(journal_path.name + "-shm").exists()
+        # and the data really was folded into the main file
+        with CheckpointJournal(journal_path) as journal:
+            assert journal.completed_shards("k1") == {0: (50, 3)}
+
+    def test_close_is_idempotent(self, journal_path):
+        journal = CheckpointJournal(journal_path)
+        journal.record_shard("k1", 0, 50, 3)
+        journal.close()
+        journal.close()  # second close is a no-op, not an error
+        with journal:  # __exit__ after close is also safe
+            pass
+
+    def test_register_run_conflict_raises(self, journal_path):
+        """INSERT OR IGNORE used to silently keep stale metadata when a key
+        was re-registered with different (kind, shots, num_shards); now the
+        mismatch is an error — a run key *is* its metadata, so a conflict
+        means corruption or a hash collision, never business as usual."""
+        with CheckpointJournal(journal_path) as journal:
+            journal.register_run("k1", kind="memory", shots=100, num_shards=2)
+            # Re-registering identical metadata is fine (resume path).
+            journal.register_run("k1", kind="memory", shots=100, num_shards=2)
+            for bad in (
+                dict(kind="capacity", shots=100, num_shards=2),
+                dict(kind="memory", shots=200, num_shards=2),
+                dict(kind="memory", shots=100, num_shards=4),
+            ):
+                with pytest.raises(JournalMismatch):
+                    journal.register_run("k1", **bad)
+            # The stored row is untouched by the failed attempts.
+            assert journal.runs() == [("k1", "memory", 100, 2)]
+
 
 class TestCheckpointedRuns:
     def test_checkpointed_run_matches_plain_run(
@@ -231,9 +271,15 @@ class TestCheckpointedRuns:
         )
         assert len(spy_run_shard) == 6
 
-    def test_corrupt_journal_row_refuses_to_resume(
-        self, protocol, code, journal_path
+    def test_corrupt_journal_row_quarantined_and_recomputed(
+        self, protocol, code, journal_path, spy_run_shard
     ):
+        """A bad cached row must never poison a resume OR kill it: the row
+        is quarantined (CacheCorrupt warning), only that shard recomputes,
+        and the pooled answer is bit-for-bit what a clean run produces."""
+        base = sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1, num_shards=6
+        )
         sharded_memory_experiment(
             protocol, code, rounds=1, shots=600, seed=5, workers=1,
             num_shards=6, checkpoint=journal_path,
@@ -241,11 +287,47 @@ class TestCheckpointedRuns:
         key = run_key_for(protocol, code, 600, 5, 6)
         with CheckpointJournal(journal_path) as journal:
             journal.record_shard(key, 0, 999, 0)  # wrong shard size
-        with pytest.raises(JournalMismatch):
-            sharded_memory_experiment(
+        spy_run_shard.clear()
+        with pytest.warns(CacheCorrupt):
+            resumed = sharded_memory_experiment(
                 protocol, code, rounds=1, shots=600, seed=5, workers=1,
                 num_shards=6, checkpoint=journal_path,
             )
+        assert len(spy_run_shard) == 1  # only the quarantined shard re-ran
+        assert resumed == base
+        # The repaired journal is clean: a further resume replays fully.
+        spy_run_shard.clear()
+        sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1,
+            num_shards=6, checkpoint=journal_path,
+        )
+        assert len(spy_run_shard) == 0
+
+    def test_tampered_checksum_quarantined(
+        self, protocol, code, journal_path, spy_run_shard
+    ):
+        """Bit rot on a stored row (failures flipped, checksum now stale)
+        is caught by checksum verification, not just shard-plan checks."""
+        base = sharded_memory_experiment(
+            protocol, code, rounds=1, shots=600, seed=5, workers=1,
+            num_shards=6, checkpoint=journal_path,
+        )
+        key = run_key_for(protocol, code, 600, 5, 6)
+        with CheckpointJournal(journal_path) as journal:
+            journal._conn.execute(
+                "UPDATE shard_results SET failures = failures + 1 "
+                "WHERE run_key=? AND shard_index=2",
+                (key,),
+            )
+            journal._conn.commit()
+        spy_run_shard.clear()
+        with pytest.warns(CacheCorrupt):
+            resumed = sharded_memory_experiment(
+                protocol, code, rounds=1, shots=600, seed=5, workers=1,
+                num_shards=6, checkpoint=journal_path,
+            )
+        assert len(spy_run_shard) == 1
+        assert resumed == base
 
     @pytest.mark.slow_mp
     def test_multiprocess_checkpoint_resume(self, protocol, code, journal_path):
@@ -293,3 +375,67 @@ class TestCheckpointedRuns:
         )
         assert len(spy_run_shard) == executed  # fully replayed from disk
         assert fit_a == fit_b
+
+
+_CONCURRENT_DRIVER_SCRIPT = """\
+import sys, warnings
+from repro.codes import SteaneCode
+from repro.ft import SteaneECProtocol
+from repro.noise import circuit_level
+from repro.threshold import JournalDegraded, sharded_memory_experiment
+
+seed, path = int(sys.argv[1]), sys.argv[2]
+with warnings.catch_warnings():
+    # Degrading under contention would silently skip journaling — the whole
+    # point of WAL + busy timeout is that two drivers serialize instead.
+    warnings.simplefilter("error", JournalDegraded)
+    res = sharded_memory_experiment(
+        SteaneECProtocol(circuit_level(2e-3)), SteaneCode(), rounds=1,
+        shots=400, seed=seed, workers=1, num_shards=4, checkpoint=path,
+    )
+print(res.shots, res.failures)
+"""
+
+
+class TestConcurrentDrivers:
+    @pytest.mark.slow_mp
+    def test_two_drivers_share_one_journal(self, protocol, code, journal_path):
+        """The docstring claim 'WAL serializes concurrent driver processes
+        safely' — proven with two live processes writing different run keys
+        into the same journal file at the same time."""
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = str(sharded.__file__).rsplit("/repro/", 1)[0]
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _CONCURRENT_DRIVER_SCRIPT,
+                 str(seed), str(journal_path)],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True,
+            )
+            for seed in (5, 6)
+        ]
+        outs = [p.communicate(timeout=150) for p in procs]
+        for proc, (out, err) in zip(procs, outs):
+            assert proc.returncode == 0, f"driver failed:\n{err}"
+        # Both runs landed, complete, under their own keys.
+        key5 = run_key_for(protocol, code, 400, 5, 4)
+        key6 = run_key_for(protocol, code, 400, 6, 4)
+        with CheckpointJournal(journal_path) as journal:
+            assert sorted(journal.completed_shards(key5)) == [0, 1, 2, 3]
+            assert sorted(journal.completed_shards(key6)) == [0, 1, 2, 3]
+            merged5 = journal.merged_counts(key5)
+            merged6 = journal.merged_counts(key6)
+        # And each child's printed counts are bit-for-bit what an
+        # in-process run of the same seed produces.
+        for seed, merged, (out, _) in zip((5, 6), (merged5, merged6), outs):
+            expected = sharded_memory_experiment(
+                protocol, code, rounds=1, shots=400, seed=seed,
+                workers=1, num_shards=4,
+            )
+            assert merged == (expected.shots, expected.failures)
+            assert out.split() == [str(expected.shots), str(expected.failures)]
