@@ -5,7 +5,9 @@ Exit status is meaningful for CI: non-zero when any experiment raises,
 overwrite ``BENCH_*.json`` on a >20% throughput regression, and ``--tests``
 runs the tier-1 pytest suite (with the per-test watchdog from
 ``tests/conftest.py`` active, so an injected hang can never wedge it;
-``--tests --quick`` skips the ``slow_mp`` multiprocess/chaos tests).
+``--tests --quick`` skips the ``slow_mp`` multiprocess/chaos tests), and
+``--lint`` runs the in-repo static-analysis pass (``repro.analysis
+--strict``; see ANALYSIS.md).
 
 Resilience: Monte Carlo experiments run on the crash-safe sharded runtime
 (`repro.threshold.runtime`).  ``--checkpoint PATH`` journals every finished
@@ -101,6 +103,16 @@ def run_tests(quick: bool) -> int:
     return subprocess.call(cmd, cwd=str(REPO_ROOT), env=env)
 
 
+def run_lint() -> int:
+    """Static-analysis pass (``python -m repro.analysis --strict``): the
+    RPL rule catalog over src/scripts/tests plus the committed baseline;
+    see ANALYSIS.md for the catalog and the suppression/baseline workflow."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis.__main__ import main as lint_main
+
+    return lint_main(["--strict", "--root", str(REPO_ROOT)])
+
+
 def run_cache_command(command: list[str], cache_path: str) -> int:
     """``cache stats`` / ``cache gc`` — inspect or compact the result cache."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -135,6 +147,12 @@ def main() -> int:
         "--tests", action="store_true",
         help="run the tier-1 pytest suite under the per-test watchdog "
         "(--quick skips slow_mp multiprocess/chaos tests)",
+    )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="run the in-repo static-analysis pass (repro.analysis --strict: "
+        "RPL determinism/picklability/concurrency rules against the "
+        "committed baseline, see ANALYSIS.md)",
     )
     parser.add_argument("--quick", action="store_true", help="CI-sized bench/tests run")
     parser.add_argument(
@@ -192,6 +210,8 @@ def main() -> int:
         return run_bench(args.quick, args.workers)
     if args.tests:
         return run_tests(args.quick)
+    if args.lint:
+        return run_lint()
     # --cache is checkpoint + resume under its result-cache reading; an
     # explicit --checkpoint still works, and --no-cache wins over both.
     checkpoint = args.cache or args.checkpoint

@@ -1,0 +1,172 @@
+"""CLI for the static-analysis pass.
+
+Usage (from the repo root)::
+
+    python -m repro.analysis                 # lint, reconcile with baseline
+    python -m repro.analysis --strict        # also fail on stale baseline rows
+    python -m repro.analysis --write-baseline
+    python -m repro.analysis --list-rules
+    python -m repro.analysis --verify-programs   # packed-program verifier
+    python -m repro.analysis path/to/file.py --profile tests
+
+Exit codes: 0 clean, 1 findings (or, under ``--strict``, stale baseline
+entries), 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.diagnostics import iter_rules
+from repro.analysis.linter import (
+    BASELINE_NAME,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+
+
+def _find_root(start: Path) -> Path:
+    """Nearest ancestor that looks like the repo root (has src/repro);
+    falls back to the package's own checkout layout."""
+    for candidate in [start, *start.parents]:
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return Path(__file__).resolve().parents[3]
+
+
+def _verify_shipped_programs() -> int:
+    """Compile every shipped EC protocol's programs; the build-time
+    verifier raises on any invalid stream, so success == all clean."""
+    from repro.codes.shor9 import ShorNineCode
+    from repro.codes.steane import SteaneCode
+    from repro.ft.exrec import ShorECProtocol, SteaneECProtocol
+    from repro.noise.models import circuit_level
+
+    noise = circuit_level(1e-3)
+    built = []
+    SteaneECProtocol(noise)
+    built.append("SteaneECProtocol(factory+extraction)")
+    ShorECProtocol(SteaneCode(), noise)
+    built.append("ShorECProtocol[Steane](factory+extraction)")
+    ShorECProtocol(ShorNineCode(), noise)
+    built.append("ShorECProtocol[Shor9](factory+extraction)")
+    for name in built:
+        print(f"verified: {name}")
+    print(f"{len(built)} protocol program sets verified clean")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files to lint (default: the whole repo layout)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repo root (default: auto-detected from cwd)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail (exit 1) on stale baseline entries",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: <root>/{BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the baseline from current findings and exit 0",
+    )
+    parser.add_argument(
+        "--profile", choices=("auto", "src", "tests"), default="auto",
+        help="rule profile (default: auto — tests/ relaxed, all else strict)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the RPL catalog and exit"
+    )
+    parser.add_argument(
+        "--verify-programs", action="store_true",
+        help="build every shipped protocol's compiled programs and run the "
+        "packed-program verifier over them",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.code}  [{rule.family:>11}]  {rule.summary}")
+        return 0
+    if args.verify_programs:
+        return _verify_shipped_programs()
+
+    root = (args.root or _find_root(Path.cwd())).resolve()
+    baseline_path = args.baseline if args.baseline is not None else root / BASELINE_NAME
+    profile = None if args.profile == "auto" else args.profile
+    try:
+        report = lint_paths(
+            root,
+            paths=args.paths or None,
+            baseline_path=baseline_path,
+            profile_override=profile,
+        )
+    except (OSError, SyntaxError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        old = load_baseline(baseline_path)
+        entries = write_baseline(baseline_path, report.findings, old)
+        print(f"wrote {len(entries)} baseline entr(y/ies) to {baseline_path}")
+        return 0
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files": report.files,
+                    "findings": [d.__dict__ for d in report.findings],
+                    "baselined": len(report.baselined),
+                    "suppressed": len(report.suppressed),
+                    "stale_baseline": report.stale_baseline,
+                },
+                indent=1,
+            )
+        )
+    else:
+        for diag in report.findings:
+            print(diag.format())
+        summary = (
+            f"{report.files} file(s): {len(report.findings)} finding(s), "
+            f"{len(report.baselined)} baselined, "
+            f"{len(report.suppressed)} suppressed"
+        )
+        if report.stale_baseline:
+            summary += f", {len(report.stale_baseline)} stale baseline entr(y/ies)"
+            for entry in report.stale_baseline:
+                print(
+                    f"stale baseline entry: {entry['path']}: {entry['rule']}: "
+                    f"{entry['snippet']!r} no longer matches — run "
+                    f"--write-baseline to drop it",
+                    file=sys.stderr,
+                )
+        print(summary)
+
+    if report.findings:
+        return 1
+    if args.strict and report.stale_baseline:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -287,6 +287,29 @@ class CompiledFrameProgram:
         self.compiled_ops = len(circuit)
         validate_frame_circuit(circuit)
         self._compile()
+        self.verify()
+
+    def verify(self) -> None:
+        """Statically verify the compiled instruction stream.
+
+        Runs :func:`repro.analysis.progcheck.verify_program` over the
+        packed tuples ``_compile`` just emitted — opcode validity, operand
+        bounds, fused-batch aliasing, noise-plane budgets, probability
+        ranges.  Raises a typed
+        :class:`~repro.analysis.progcheck.ProgramVerificationError`
+        subclass on the first violation.  Imported lazily: progcheck needs
+        this module's opcode constants, so a module-level import would
+        cycle.
+        """
+        from repro.analysis.progcheck import verify_program
+
+        verify_program(
+            self._instructions,
+            self.circuit.num_qubits,
+            self.circuit.num_cbits,
+            self._counts,
+            self.noise,
+        )
 
     # ------------------------------------------------------------------
     def _compile(self) -> None:

@@ -245,9 +245,23 @@ class CheckpointJournal:
             self._closed = True
             try:
                 conn.close()
-            except Exception:
+            except (sqlite3.Error, OSError):
+                # Cleanup on the failure path: the original open/schema
+                # error is already propagating and is the observable fault;
+                # a close error on a broken handle adds nothing.
                 pass
             raise
+
+    def __getstate__(self) -> None:
+        """Sqlite connections are process-local: a journal that rode a
+        worker payload across the spawn boundary would arrive as a dead
+        handle.  Refuse at pickle time, where the mistake is visible —
+        workers never journal; only the driver process records results."""
+        raise TypeError(
+            "CheckpointJournal holds a process-local sqlite connection and "
+            "cannot be pickled; pass the journal *path* and reopen in the "
+            "receiving process instead"
+        )
 
     # -- schema --------------------------------------------------------
     def _ensure_schema(self) -> None:

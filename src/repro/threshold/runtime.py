@@ -240,6 +240,7 @@ def _kill_pool(workers: int) -> None:
     if pool is None:
         return
     procs = list((getattr(pool, "_processes", None) or {}).values())
+    # repro: disable=RPL303 -- workers are terminated and reaped just below
     pool.shutdown(wait=False, cancel_futures=True)
     for proc in procs:
         if proc.is_alive():
@@ -261,6 +262,7 @@ def _shutdown_pools() -> None:
     all_procs = []
     for pool in pools:
         all_procs.extend((getattr(pool, "_processes", None) or {}).values())
+        # repro: disable=RPL303 -- stragglers reaped by _reap_processes below
         pool.shutdown(wait=False, cancel_futures=True)
     _reap_processes(all_procs, time.monotonic() + _REAP_SECONDS)
 
@@ -316,7 +318,10 @@ class _ResilientJournal:
         if self._journal is not None:
             try:
                 self._journal.close()
-            except Exception:
+            except (sqlite3.Error, OSError):
+                # Best-effort close of an already-degraded journal: the
+                # JournalDegraded warning above is the observable record of
+                # the fault; a second failure here adds nothing.
                 pass
         self._journal = None
 
@@ -387,8 +392,17 @@ class _ResilientJournal:
         if self._journal is not None:
             try:
                 self._journal.close()
-            except Exception:
-                pass
+            except (sqlite3.Error, OSError) as exc:
+                # The run's counts are already pooled; a failed close can
+                # only cost WAL-truncate hygiene — but it must stay
+                # observable, not vanish.
+                warnings.warn(
+                    f"checkpoint journal failed to close cleanly ({exc!r}); "
+                    f"results are unaffected, a -wal/-shm file may be left "
+                    f"behind",
+                    JournalDegraded,
+                    stacklevel=2,
+                )
             self._journal = None
 
 
