@@ -44,7 +44,7 @@ from repro.threshold import memory_experiment  # noqa: E402
 from repro.threshold.sharded import DEFAULT_NUM_SHARDS  # noqa: E402
 
 BENCH_PATH = REPO_ROOT / "BENCH_pauliframe.json"
-SCHEMA_VERSION = 3  # v3 adds the optional cache_hit entry
+SCHEMA_VERSION = 4  # v3 adds the optional cache_hit entry; v4 adds queue
 REGRESSION_TOLERANCE = 0.20  # refuse overwrite when >20% slower
 
 
@@ -119,6 +119,44 @@ def _time_cache(shots: int, rounds: int, eps: float, seed: int) -> dict:
     }
 
 
+def _time_queue(jobs: int, shots: int, eps: float, seed: int) -> dict:
+    """Time the durable scan queue: submit ``jobs`` small capacity scans
+    to a scratch queue and serve them to completion with one in-process
+    worker, against direct execution of the identical shard plans.  The
+    difference is pure scheduler machinery — sqlite transactions, lease
+    bookkeeping, journaled results — so ``overhead_ms_per_job`` is the
+    price of durability per job, not a statement about the physics."""
+    from repro.threshold import scheduler, sharded  # noqa: E402
+    from repro.threshold.runtime import (  # noqa: E402
+        ResilienceOptions,
+        execute_shards,
+    )
+
+    code = SteaneCode()
+    requests = [
+        ("capacity", (code, eps, 1), shots, seed + i) for i in range(jobs)
+    ]
+    t0 = time.perf_counter()
+    for kind, args, n, s in requests:
+        specs, _ = sharded._build_specs(kind, args, n, s, None)
+        execute_shards(specs, 1, options=ResilienceOptions())
+    direct_s = time.perf_counter() - t0
+    with tempfile.TemporaryDirectory() as tmp:
+        queue_path = Path(tmp) / "bench_queue.sqlite"
+        t0 = time.perf_counter()
+        results = scheduler.scan_via_queue(queue_path, requests)
+        queued_s = time.perf_counter() - t0
+    assert all(r.shots == shots for r in results), "queue dropped shots"
+    return {
+        "jobs": jobs,
+        "shots_per_job": shots,
+        "direct_seconds": round(direct_s, 4),
+        "queued_seconds": round(queued_s, 4),
+        "jobs_per_sec": round(jobs / queued_s, 1),
+        "overhead_ms_per_job": round(1000 * (queued_s - direct_s) / jobs, 2),
+    }
+
+
 def run_benchmark(
     shots: int = 10_000,
     rounds: int = 10,
@@ -126,6 +164,7 @@ def run_benchmark(
     seed: int = 2026,
     workers: int = 1,
     cache_bench: bool = False,
+    queue_bench: bool = False,
 ) -> dict:
     """Measure both engines on the same experiment; returns the record.
 
@@ -165,6 +204,10 @@ def run_benchmark(
         record["sharded"] = sharded
     if cache_bench:
         record["cache_hit"] = _time_cache(shots, rounds, eps, seed)
+    if queue_bench:
+        # Small fixed-size jobs: the datapoint is scheduler overhead per
+        # job, which a big physics workload would only bury.
+        record["queue"] = _time_queue(8, max(200, shots // 50), eps, seed)
     return record
 
 
@@ -261,6 +304,12 @@ def write_guarded(record: dict, path: Path = BENCH_PATH, force: bool = False) ->
                 **record,
                 "cache_hit": {**old["cache_hit"], "carried_forward": True},
             }
+        if old.get("queue") and not record.get("queue"):
+            # ... and for the queue-throughput datapoint.
+            record = {
+                **record,
+                "queue": {**old["queue"], "carried_forward": True},
+            }
         elif old_sh and new_sh and new_sh.get("workers") != old_sh.get("workers"):
             print(
                 f"NOT COMPARABLE: stored sharded baseline used "
@@ -295,6 +344,11 @@ def main(argv: list[str] | None = None) -> int:
         help="also time the result cache: a cold journaled run vs a full "
         "cache hit (replayed from sqlite without executing a shard)",
     )
+    parser.add_argument(
+        "--queue-bench", action="store_true",
+        help="also time the durable scan queue: submit+serve small jobs "
+        "against direct execution, recording scheduler overhead per job",
+    )
     parser.add_argument("--quick", action="store_true", help="CI-sized run (2k shots, 3 rounds)")
     parser.add_argument("--force", action="store_true", help="overwrite even on regression")
     parser.add_argument(
@@ -312,7 +366,7 @@ def main(argv: list[str] | None = None) -> int:
 
     record = run_benchmark(
         args.shots, args.rounds, args.eps, args.seed, args.workers,
-        cache_bench=args.cache_bench,
+        cache_bench=args.cache_bench, queue_bench=args.queue_bench,
     )
     print(
         f"legacy:   {record['legacy']['seconds']:8.3f}s "
@@ -336,6 +390,13 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"cache:    miss {ch['miss_seconds']:.3f}s -> hit "
             f"{ch['hit_seconds']:.3f}s ({ch['hit_speedup']:.0f}x)"
+        )
+    if "queue" in record:
+        q = record["queue"]
+        print(
+            f"queue:    {q['jobs']} jobs in {q['queued_seconds']:.3f}s "
+            f"({q['jobs_per_sec']:.1f} jobs/sec, "
+            f"+{q['overhead_ms_per_job']:.1f} ms/job vs direct)"
         )
 
     if args.check:

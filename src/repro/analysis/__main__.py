@@ -82,7 +82,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--write-baseline", action="store_true",
-        help="regenerate the baseline from current findings and exit 0",
+        help="regenerate the baseline from current findings and exit 0; "
+        "entries new to the baseline require --reason",
+    )
+    parser.add_argument(
+        "--reason", default=None, metavar="TEXT",
+        help="justification recorded on entries new to the baseline "
+        "(carried-forward entries keep their existing reasons)",
     )
     parser.add_argument(
         "--profile", choices=("auto", "src", "tests"), default="auto",
@@ -125,7 +131,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.write_baseline:
         old = load_baseline(baseline_path)
-        entries = write_baseline(baseline_path, report.findings, old)
+        try:
+            entries = write_baseline(
+                baseline_path, report.findings, old, default_reason=args.reason
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(f"wrote {len(entries)} baseline entr(y/ies) to {baseline_path}")
         return 0
 

@@ -144,6 +144,20 @@ RULES: dict[str, Rule] = {
             "hash/fingerprint computation — cache keys must be "
             "time-independent to ever hit",
         ),
+        Rule(
+            "RPL306",
+            "concurrency",
+            "monotonic clock (time.monotonic/perf_counter) inside lease/"
+            "heartbeat/claim/expire logic — process-local clocks cannot "
+            "order lease deadlines across claimants; use time.time()",
+        ),
+        Rule(
+            "RPL307",
+            "concurrency",
+            "UPDATE statement setting state='done' without a lease_owner "
+            "guard — an unguarded terminal write lets a stale claimant "
+            "clobber the result of the lease's current owner",
+        ),
     )
 }
 

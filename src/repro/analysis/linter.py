@@ -157,17 +157,40 @@ def load_baseline(path: Path) -> list[dict]:
     return entries
 
 
-def write_baseline(path: Path, diags: Iterable[Diagnostic], old: list[dict]) -> list[dict]:
+def write_baseline(
+    path: Path,
+    diags: Iterable[Diagnostic],
+    old: list[dict],
+    default_reason: str | None = None,
+) -> list[dict]:
     """Regenerate the baseline from current findings, carrying forward the
-    ``reason`` of every entry that still matches."""
+    ``reason`` of every entry that still matches.
+
+    Entries *new* to the baseline need a justification: ``default_reason``
+    is recorded for them, and when it is ``None`` the write is refused
+    (``ValueError`` listing the unjustified entries).  A baseline row
+    without a reason reads like a bare ``except`` — and the old behavior
+    of stamping a literal "TODO: justify or fix" just committed the TODO
+    forever.
+    """
     reasons = {(e["path"], e["rule"], e["snippet"]): e.get("reason", "") for e in old}
+    diags = list(diags)
+    new = [d for d in diags if d.key() not in reasons]
+    if new and default_reason is None:
+        listing = "\n".join(f"  {d.path}:{d.line}: {d.rule}: {d.snippet!r}" for d in new)
+        raise ValueError(
+            f"{len(new)} new baseline entr(y/ies) lack a justification:\n"
+            f"{listing}\n"
+            f"pass a reason (CLI: --reason TEXT) or fix/suppress the "
+            f"finding(s) instead — baselines only carry explained debt"
+        )
     entries = [
         {
             "path": d.path,
             "rule": d.rule,
             "line": d.line,
             "snippet": d.snippet,
-            "reason": reasons.get(d.key(), "TODO: justify or fix"),
+            "reason": reasons.get(d.key(), default_reason),
         }
         for d in diags
     ]

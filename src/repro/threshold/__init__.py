@@ -48,12 +48,30 @@ from repro.threshold.sharded import (
     spawn_shard_seeds,
 )
 from repro.threshold.runtime import (
+    DrainRequested,
     ResilienceOptions,
     RunDegraded,
     ShardRetryExhausted,
     ShardTimeout,
 )
-from repro.threshold.chaos import ChaosError, ChaosPlan, IOChaosPlan
+from repro.threshold.chaos import (
+    ChaosError,
+    ChaosPlan,
+    IOChaosPlan,
+    SchedulerChaosPlan,
+)
+from repro.threshold.scheduler import (
+    JobDegraded,
+    JobFailed,
+    JobHandle,
+    JobResult,
+    QueueCorrupt,
+    QueueSaturated,
+    ScanQueue,
+    ServeReport,
+    scan_via_queue,
+    serve,
+)
 from repro.threshold.journal import (
     CacheCorrupt,
     CheckpointJournal,
@@ -98,6 +116,7 @@ __all__ = [
     "sharded_memory_experiment",
     "shard_sizes",
     "spawn_shard_seeds",
+    "DrainRequested",
     "ResilienceOptions",
     "RunDegraded",
     "ShardRetryExhausted",
@@ -105,6 +124,17 @@ __all__ = [
     "ChaosError",
     "ChaosPlan",
     "IOChaosPlan",
+    "SchedulerChaosPlan",
+    "JobDegraded",
+    "JobFailed",
+    "JobHandle",
+    "JobResult",
+    "QueueCorrupt",
+    "QueueSaturated",
+    "ScanQueue",
+    "ServeReport",
+    "scan_via_queue",
+    "serve",
     "CacheCorrupt",
     "CacheLookup",
     "CheckpointJournal",

@@ -135,8 +135,23 @@ class ResultCache:
     def stats(self) -> dict:
         return self._journal.stats()
 
-    def gc(self) -> dict:
-        return self._journal.gc()
+    def gc(
+        self,
+        grace_seconds: float = 3600.0,
+        protected_keys: "set[str] | frozenset[str] | tuple | list" = (),
+    ) -> dict:
+        """Compact the store — safely alongside live runs.
+
+        Incomplete runs are only dropped when provably abandoned: rows
+        younger than ``grace_seconds`` mark a run as in flight, and
+        ``protected_keys`` (e.g. a scan queue's
+        :meth:`~repro.threshold.scheduler.ScanQueue.active_run_keys`)
+        are never collected regardless of age — see
+        :meth:`~repro.threshold.journal.CheckpointJournal.gc`.
+        """
+        return self._journal.gc(
+            grace_seconds=grace_seconds, protected_keys=protected_keys
+        )
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:

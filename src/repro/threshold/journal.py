@@ -524,20 +524,57 @@ class CheckpointJournal:
             "bytes": self.path.stat().st_size if self.path.exists() else 0,
         }
 
-    def gc(self) -> dict:
-        """Reclaim space: drop incomplete runs (their partial rows resume
-        nothing anyone is waiting on), purge the quarantine, drop orphaned
-        shard rows, and VACUUM.  Returns a report of what was removed."""
-        incomplete = [
-            k
-            for k, _, _, n in self.runs()
-            if int(
+    def gc(
+        self,
+        grace_seconds: float = 3600.0,
+        protected_keys: "set[str] | frozenset[str] | tuple | list" = (),
+    ) -> dict:
+        """Reclaim space: drop *stale* incomplete runs, purge the
+        quarantine, drop orphaned shard rows, and VACUUM.  Returns a
+        report of what was removed.
+
+        An incomplete run is only collectible when it is provably
+        abandoned, not merely unfinished: WAL lets a gc run concurrently
+        with a live scan writing the same journal, and the original gc
+        collected the live run's rows mid-write (every one of its finished
+        shards silently recomputed).  Two guards close that race:
+
+        * ``grace_seconds`` — a run whose newest row (or registration) is
+          younger than this is presumed in flight and skipped;
+        * ``protected_keys`` — run keys that must never be collected
+          regardless of age, e.g. the scan queue's
+          :meth:`~repro.threshold.scheduler.ScanQueue.active_run_keys`
+          (a pending job may sit in the queue longer than any grace
+          window before its claimant starts writing).
+        """
+        now = time.time()
+        protected = set(protected_keys)
+        incomplete: list[str] = []
+        live_skipped = 0
+        for run_key, _, _, num_shards in self.runs():
+            recorded = int(
                 self._conn.execute(
-                    "SELECT COUNT(*) FROM shard_results WHERE run_key = ?", (k,)
+                    "SELECT COUNT(*) FROM shard_results WHERE run_key = ?",
+                    (run_key,),
                 ).fetchone()[0]
             )
-            != n
-        ]
+            if recorded == num_shards:
+                continue
+            if run_key in protected:
+                live_skipped += 1
+                continue
+            newest = self._conn.execute(
+                "SELECT MAX(recorded_unix) FROM shard_results WHERE run_key = ?",
+                (run_key,),
+            ).fetchone()[0]
+            created = self._conn.execute(
+                "SELECT created_unix FROM runs WHERE run_key = ?", (run_key,)
+            ).fetchone()[0]
+            last_activity = max(float(created or 0.0), float(newest or 0.0))
+            if now - last_activity < grace_seconds:
+                live_skipped += 1
+                continue
+            incomplete.append(run_key)
         for run_key in incomplete:
             self.clear_run(run_key)
         quarantined = self._conn.execute("DELETE FROM quarantine").rowcount
@@ -549,6 +586,7 @@ class CheckpointJournal:
         self._conn.execute("VACUUM")
         return {
             "incomplete_runs_dropped": len(incomplete),
+            "live_runs_skipped": live_skipped,
             "quarantined_rows_purged": int(quarantined),
             "orphan_rows_dropped": int(orphans),
             "bytes": self.path.stat().st_size if self.path.exists() else 0,

@@ -337,6 +337,58 @@ class TestConcurrencyRules:
         )
         assert codes(clean) == []
 
+    def test_rpl306_monotonic_in_lease_logic_fires(self):
+        fired = lint(
+            """
+            import time
+
+            def lease_expired(deadline):
+                return time.monotonic() > deadline
+
+            def heartbeat(job):
+                job.beat_at = time.perf_counter()
+            """
+        )
+        assert codes(fired) == ["RPL306", "RPL306"]
+
+    def test_rpl306_quiet_for_wall_clock_leases_and_local_timing(self):
+        clean = lint(
+            """
+            import time
+
+            def claim_job(queue):
+                return queue.claim(now=time.time())
+
+            def elapsed(start):
+                return time.monotonic() - start
+            """
+        )
+        assert codes(clean) == []
+
+    def test_rpl307_unguarded_terminal_update_fires(self):
+        fired = lint(
+            """
+            def complete(conn, job_id):
+                conn.execute(
+                    "UPDATE jobs SET state='done' WHERE job_id=?", (job_id,)
+                )
+            """
+        )
+        assert codes(fired) == ["RPL307"]
+
+    def test_rpl307_quiet_when_owner_guarded(self):
+        clean = lint(
+            """
+            def complete(conn, job_id, owner):
+                conn.execute(
+                    "UPDATE jobs SET state='done' "
+                    "WHERE job_id=? AND lease_owner=?",
+                    (job_id, owner),
+                )
+            """
+        )
+        assert codes(clean) == []
+
 
 # ----------------------------------------------------------------------
 # Profiles, suppressions, baseline.
@@ -347,6 +399,7 @@ class TestMachinery:
             "RPL101", "RPL102", "RPL103", "RPL104",
             "RPL201", "RPL202", "RPL203",
             "RPL301", "RPL302", "RPL303", "RPL304", "RPL305",
+            "RPL306", "RPL307",
         }
         assert exercised == set(RULES)
 
@@ -415,8 +468,15 @@ class TestMachinery:
         report = lint_paths(tmp_path, baseline_path=baseline_path)
         assert codes(report.findings) == ["RPL303"]
 
-        entries = write_baseline(baseline_path, report.findings, [])
+        # New entries are refused without a justification...
+        with pytest.raises(ValueError, match="lack a justification"):
+            write_baseline(baseline_path, report.findings, [])
+        # ...and recorded with one when given.
+        entries = write_baseline(
+            baseline_path, report.findings, [], default_reason="fixture debt"
+        )
         assert len(entries) == 1
+        assert entries[0]["reason"] == "fixture debt"
 
         # Baselined: the same finding no longer fails the run.
         report = lint_paths(tmp_path, baseline_path=baseline_path)

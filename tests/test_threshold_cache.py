@@ -337,7 +337,9 @@ class TestMaintenance:
             cache.journal._conn.commit()
             with pytest.warns(CacheCorrupt):
                 cache.lookup(key_b, sizes)
-            report = cache.gc()
+            # grace_seconds=0: this test's incomplete run *is* abandoned
+            # (the grace window itself is covered in TestGcLiveRunRace).
+            report = cache.gc(grace_seconds=0.0)
             assert report["incomplete_runs_dropped"] == 1
             assert report["quarantined_rows_purged"] == 1
             stats = cache.stats()
@@ -348,3 +350,82 @@ class TestMaintenance:
             # The surviving complete run still answers.
             shots, failures = cache.pooled_counts("capacity", (code, EPS, 1))
             assert (shots, failures) == (a.shots, a.failures)
+
+
+class TestGcLiveRunRace:
+    """``gc`` must never collect a run that is merely *unfinished* — only
+    one that is provably abandoned.  WAL lets a gc run concurrently with a
+    live scan writing the same journal; the guards under test here are
+    the grace window (fresh rows mean a claimant is mid-write) and the
+    scan queue's ``active_run_keys`` (a pending job may sit in the queue
+    longer than any grace window before its claimant starts)."""
+
+    def _make_incomplete(self, cache, key):
+        cache.journal._conn.execute(
+            "DELETE FROM shard_results WHERE run_key=? AND shard_index=0",
+            (key,),
+        )
+        cache.journal._conn.commit()
+
+    def test_default_grace_presumes_fresh_incomplete_runs_live(
+        self, code, cache_path
+    ):
+        run_capacity(code, cache_path, seed=11)
+        run_capacity(code, cache_path, seed=12)
+        key_b = capacity_key(code, EPS, SHOTS, 12, SHARDS)
+        with ResultCache(cache_path) as cache:
+            # Run B looks exactly like an in-flight scan: incomplete, but
+            # its surviving rows were journaled moments ago.
+            self._make_incomplete(cache, key_b)
+            report = cache.gc()
+            assert report["incomplete_runs_dropped"] == 0
+            assert report["live_runs_skipped"] == 1
+            stats = cache.stats()
+            assert stats["runs"] == 2
+            assert stats["shard_rows"] == 2 * SHARDS - 1
+            # Once the grace window has elapsed the same run is abandoned
+            # and collectible.
+            report = cache.gc(grace_seconds=0.0)
+            assert report["incomplete_runs_dropped"] == 1
+            assert report["live_runs_skipped"] == 0
+            assert cache.stats()["runs"] == 1
+
+    def test_queue_active_run_keys_protect_regardless_of_age(
+        self, code, cache_path, tmp_path
+    ):
+        from repro.threshold.scheduler import ScanQueue
+
+        run_capacity(code, cache_path, seed=12)
+        key = capacity_key(code, EPS, SHOTS, 12, SHARDS)
+        with ResultCache(cache_path) as cache:
+            # A claimant journaled 3 of 4 shards, then died; the job was
+            # requeued and has sat pending far longer than any grace
+            # window.  Backdate every trace of activity to the epoch.
+            self._make_incomplete(cache, key)
+            cache.journal._conn.execute(
+                "UPDATE runs SET created_unix=0 WHERE run_key=?", (key,)
+            )
+            cache.journal._conn.execute(
+                "UPDATE shard_results SET recorded_unix=0 WHERE run_key=?",
+                (key,),
+            )
+            cache.journal._conn.commit()
+            with ScanQueue(
+                tmp_path / "queue.sqlite", cache_path=cache_path
+            ) as queue:
+                queue.submit_scan(
+                    "capacity", (code, EPS, 1), SHOTS, 12, num_shards=SHARDS
+                )
+                assert key in queue.active_run_keys()
+                # Stale by age, but the queue still owns this run key: the
+                # partial shards must survive for the next claimant.
+                report = cache.gc(
+                    grace_seconds=0.0,
+                    protected_keys=queue.active_run_keys(),
+                )
+                assert report["incomplete_runs_dropped"] == 0
+                assert report["live_runs_skipped"] == 1
+                assert cache.stats()["shard_rows"] == SHARDS - 1
+            # With the queue out of the picture the run is collectible.
+            report = cache.gc(grace_seconds=0.0)
+            assert report["incomplete_runs_dropped"] == 1

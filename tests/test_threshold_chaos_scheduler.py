@@ -1,0 +1,362 @@
+"""Scheduler-level chaos: the ISSUE's fault menagerie, each proven
+harmless to the *answer*.
+
+Shards are pure functions of their specs, so whatever the scheduler
+survives — a claimant SIGKILLed mid-lease, a stale lease takeover, a
+stalled heartbeat, a tampered queue row, lock-contention bursts — the
+pooled counts a job finally reports must be bit-for-bit identical to a
+direct ``execute_shards`` run of the same plan.  Faults cost time,
+never correctness.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.codes import SteaneCode
+from repro.threshold import (
+    IOChaosPlan,
+    QueueCorrupt,
+    ScanQueue,
+    SchedulerChaosPlan,
+    ServeReport,
+    scan_via_queue,
+    serve,
+)
+from repro.threshold import sharded
+from repro.threshold.cache import ResultCache
+from repro.threshold.runtime import ResilienceOptions, execute_shards
+from repro.threshold.sharded import _build_specs
+
+SHOTS, SHARDS, SEED = 200, 4, 11
+
+
+@pytest.fixture
+def code():
+    return SteaneCode()
+
+
+@pytest.fixture
+def queue_path(tmp_path):
+    return tmp_path / "queue.sqlite"
+
+
+@pytest.fixture
+def cache_path(tmp_path):
+    return tmp_path / "cache.sqlite"
+
+
+def capacity_args(code, eps=0.05):
+    return (code, eps, 1)
+
+
+def direct_counts(code, eps=0.05, shots=SHOTS, seed=SEED, shards=SHARDS):
+    specs, _ = _build_specs("capacity", capacity_args(code, eps), shots, seed, shards)
+    counts = execute_shards(specs, 1, options=ResilienceOptions())
+    return sum(s for s, _ in counts), sum(f for _, f in counts)
+
+
+def submit_standard(queue, code, **kw):
+    return queue.submit_scan(
+        "capacity", capacity_args(code), SHOTS, SEED, num_shards=SHARDS, **kw
+    )
+
+
+# Claims one job then dies without cleanup — the SIGKILLed-claimant
+# half of the reclaim test.  The chaos plan makes serve() os._exit(13)
+# at its first successful claim, leaving the lease held and unheartbeaten.
+_KILLED_CLAIMANT_SCRIPT = """\
+import sys
+from repro.threshold import SchedulerChaosPlan, serve
+
+queue_path, cache_path, lease = sys.argv[1], sys.argv[2], float(sys.argv[3])
+serve(
+    queue_path, cache_path, drain_on_empty=True, lease_seconds=lease,
+    owner="doomed", chaos=SchedulerChaosPlan({1: "kill_claimant"}),
+)
+print("unreachable")
+"""
+
+# One claimant among several draining a shared queue; prints its
+# completion count so the parent can account for every job exactly once.
+_CLAIMANT_SCRIPT = """\
+import sys
+from repro.threshold import serve
+
+queue_path, cache_path, owner = sys.argv[1], sys.argv[2], sys.argv[3]
+report = serve(queue_path, cache_path, drain_on_empty=True, owner=owner)
+print(report.claimed, report.completed)
+"""
+
+
+def _spawn(script: str, *argv: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(sharded.__file__).rsplit("/repro/", 1)[0]
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-c", script, *argv],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+
+
+class TestKilledClaimant:
+    @pytest.mark.slow_mp
+    def test_killed_mid_lease_job_is_reclaimed_bit_for_bit(
+        self, queue_path, cache_path, code
+    ):
+        """The acceptance criterion: SIGKILL-equivalent claimant death →
+        lease expiry → takeover by a healthy claimant → pooled counts
+        bit-for-bit equal to a direct execute_shards run."""
+        lease = 0.5
+        with ScanQueue(queue_path, cache_path=cache_path) as queue:
+            handle = submit_standard(queue, code)
+
+            proc = _spawn(
+                _KILLED_CLAIMANT_SCRIPT, str(queue_path), str(cache_path), str(lease)
+            )
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 13, f"claimant survived:\n{out}\n{err}"
+            assert "unreachable" not in out
+
+            # The dead claimant's lease is still on the books.
+            row = queue.job_row(handle.job_id)
+            assert row["state"] == "leased" and row["lease_owner"] == "doomed"
+
+            # After expiry a healthy claimant takes over and completes.
+            deadline = float(row["lease_expires_unix"])
+            time.sleep(max(0.0, deadline - time.time()) + 0.1)
+            report = serve(
+                queue_path, cache_path, drain_on_empty=True,
+                lease_seconds=lease, owner="healthy",
+            )
+            assert report.claimed == report.completed == 1
+            result = handle.result(timeout=5.0)
+            events = [e[1] for e in queue.events(handle.job_id)]
+
+        assert (result.shots, result.failures) == direct_counts(code)
+        assert "lease_takeover" in events
+        assert events.count("completed") == 1
+
+
+class TestStaleLeaseTakeover:
+    def test_ancient_lease_is_taken_over_and_stale_complete_rejected(
+        self, queue_path, cache_path, code
+    ):
+        """A claimant that stopped heartbeating (here: a lease stamped in
+        1970-adjacent test time, i.e. long expired in wall-clock terms)
+        loses the job; its eventual completion attempt is rejected by the
+        owner guard and the successor's result stands."""
+        with ScanQueue(queue_path, cache_path=cache_path) as queue:
+            handle = submit_standard(queue, code)
+            stalled = queue.claim("stalled", now=1000.0)
+            assert stalled is not None
+
+            report = serve(queue_path, cache_path, drain_on_empty=True)
+            assert report.claimed == report.completed == 1
+            result = handle.result(timeout=5.0)
+
+            # The stalled claimant finally "finishes": rejected, and the
+            # recorded result is untouched.
+            assert not queue.complete(stalled.job_id, "stalled", SHOTS, 999)
+            events = [e[1] for e in queue.events(handle.job_id)]
+            after = handle.result(timeout=5.0)
+
+        assert (result.shots, result.failures) == direct_counts(code)
+        assert (after.shots, after.failures) == (result.shots, result.failures)
+        assert "lease_takeover" in events
+        assert "stale_complete_rejected" in events
+        assert events.count("completed") == 1
+
+
+class TestHeartbeatStall:
+    def test_stalled_heartbeats_do_not_corrupt_the_result(
+        self, queue_path, cache_path, code
+    ):
+        """``heartbeat_stall`` suppresses every heartbeat the claimant
+        would send; a short job still completes correctly — the fault
+        only matters by making the lease contestable (covered above)."""
+        with ScanQueue(queue_path, cache_path=cache_path) as queue:
+            handle = submit_standard(queue, code)
+            report = serve(
+                queue_path, cache_path, drain_on_empty=True,
+                chaos=SchedulerChaosPlan({1: "heartbeat_stall"}),
+            )
+            assert report.claimed == report.completed == 1
+            result = handle.result(timeout=5.0)
+            row = queue.job_row(handle.job_id)
+            claimed_at = [e for e in queue.events(handle.job_id) if e[1] == "claimed"]
+        assert (result.shots, result.failures) == direct_counts(code)
+        # The stall really stalled: the heartbeat stamp never advanced
+        # past the one the claim itself wrote.
+        assert row["heartbeat_unix"] == pytest.approx(claimed_at[0][-1])
+
+
+class TestInterruptMidJob:
+    def test_interrupt_requeues_and_resume_completes_bit_for_bit(
+        self, queue_path, cache_path, code
+    ):
+        """The KeyboardInterrupt-during-drain path: the operator's
+        interrupt lands after the first shard; the job is requeued
+        without charging the attempt, the finished shard stays durable,
+        and the next claimant resumes the remainder — pooled counts
+        bit-for-bit identical to an uninterrupted run."""
+        with ScanQueue(queue_path, cache_path=cache_path) as queue:
+            handle = submit_standard(queue, code)
+            report = serve(
+                queue_path, cache_path, drain_on_empty=True,
+                chaos=SchedulerChaosPlan({1: "interrupt_mid_job"}),
+            )
+            assert report.drained and report.requeued == 1
+            assert report.completed == 0
+            row = queue.job_row(handle.job_id)
+            assert row["state"] == "pending" and row["attempts"] == 0
+
+            # The shard that finished before the interrupt is durable.
+            with ResultCache(cache_path) as cache:
+                look = cache.lookup(
+                    handle.run_key, sharded.shard_sizes(SHOTS, SHARDS)
+                )
+            assert look.status == "partial" and len(look.counts) >= 1
+
+            # Resume executes only the remainder...
+            executed = []
+            real = sharded._run_shard
+            try:
+                sharded._run_shard = (
+                    lambda spec: executed.append(spec) or real(spec)
+                )
+                report2 = serve(queue_path, cache_path, drain_on_empty=True)
+            finally:
+                sharded._run_shard = real
+            assert report2.completed == 1
+            assert len(executed) == SHARDS - len(look.counts)
+            result = handle.result(timeout=5.0)
+        assert (result.shots, result.failures) == direct_counts(code)
+
+    def test_scan_via_queue_reraises_keyboard_interrupt_on_drain(
+        self, queue_path, cache_path, code, monkeypatch
+    ):
+        """The experiment runners' queue mode keeps Ctrl-C meaningful:
+        a drained serve surfaces as KeyboardInterrupt to the caller."""
+        from repro.threshold import scheduler
+
+        monkeypatch.setattr(
+            scheduler, "serve",
+            lambda *a, **k: ServeReport(owner="x", drained=True),
+        )
+        with pytest.raises(KeyboardInterrupt, match="requeued"):
+            scheduler.scan_via_queue(
+                queue_path,
+                [("capacity", capacity_args(code), SHOTS, SEED)],
+                cache_path=cache_path,
+            )
+        # The job is still queued for the rerun.
+        with ScanQueue(queue_path) as queue:
+            assert len(queue.jobs("pending")) == 1
+
+
+class TestRowTamper:
+    def test_tampered_pending_row_is_quarantined_not_executed(
+        self, queue_path, cache_path, code
+    ):
+        with ScanQueue(queue_path, cache_path=cache_path) as queue:
+            handle = submit_standard(queue, code)
+            queue._conn.execute(
+                "UPDATE jobs SET shots = shots * 2 WHERE job_id = ?",
+                (handle.job_id,),
+            )
+            with pytest.warns(QueueCorrupt):
+                report = serve(queue_path, cache_path, drain_on_empty=True)
+            assert report.claimed == 0 and report.completed == 0
+            assert handle.status() == "corrupt"
+            # Resubmission recomputes cleanly from scratch.
+            again = submit_standard(queue, code)
+            assert again.job_id == handle.job_id and not again.coalesced
+            report = serve(queue_path, cache_path, drain_on_empty=True)
+            assert report.completed == 1
+            result = again.result(timeout=5.0)
+        assert (result.shots, result.failures) == direct_counts(code)
+
+
+class TestLockContention:
+    def test_lock_burst_is_absorbed_by_the_bounded_retry(
+        self, queue_path, cache_path, code
+    ):
+        """Injected 'database is locked' bursts on the queue connection:
+        the bounded in-transaction retry rides them out and the submit/
+        claim/complete cycle still lands exactly once."""
+        plan = IOChaosPlan({1: "lock_contention", 3: "lock_contention"})
+        with ScanQueue(queue_path, cache_path=cache_path, io_chaos=plan) as queue:
+            handle = submit_standard(queue, code)
+            job = queue.claim("w1", now=1000.0)
+            assert job is not None
+            assert queue.complete(job.job_id, "w1", *direct_counts(code), now=1001.0)
+            result = handle.result(timeout=5.0)
+            events = [e[1] for e in queue.events(handle.job_id)]
+        assert plan.writes_seen >= 3  # the bursts actually fired
+        assert (result.shots, result.failures) == direct_counts(code)
+        assert events.count("claimed") == 1 and events.count("completed") == 1
+
+
+class TestTwoClaimants:
+    @pytest.mark.slow_mp
+    def test_two_claimants_drain_one_queue_without_double_claims(
+        self, queue_path, cache_path, code
+    ):
+        """Liveness + mutual exclusion with two real claimant processes:
+        every job completes exactly once, nothing is lost, and each
+        job's counts equal its direct execution."""
+        seeds = [21, 22, 23, 24]
+        with ScanQueue(queue_path, cache_path=cache_path) as queue:
+            handles = [
+                queue.submit_scan(
+                    "capacity", capacity_args(code), SHOTS, s, num_shards=SHARDS
+                )
+                for s in seeds
+            ]
+
+            procs = [
+                _spawn(_CLAIMANT_SCRIPT, str(queue_path), str(cache_path), owner)
+                for owner in ("claimant-a", "claimant-b")
+            ]
+            outs = [p.communicate(timeout=150) for p in procs]
+            for proc, (out, err) in zip(procs, outs):
+                assert proc.returncode == 0, f"claimant failed:\n{err}"
+
+            # Both claimants are live and their completions cover the
+            # queue exactly (no lost job, no double completion).
+            completed = [int(out.split()[1]) for out, _ in outs]
+            assert sum(completed) == len(seeds)
+
+            for seed, handle in zip(seeds, handles):
+                events = [e[1] for e in queue.events(handle.job_id)]
+                assert events.count("claimed") == 1, f"double claim on seed {seed}"
+                assert events.count("completed") == 1
+                result = handle.result(timeout=5.0)
+                assert (result.shots, result.failures) == direct_counts(
+                    code, seed=seed
+                )
+
+
+class TestQueueModeEquivalence:
+    @pytest.mark.slow_mp
+    def test_e01_queue_mode_matches_sharded_direct_run(self, tmp_path):
+        """The experiment runners' queue mode returns the same physics:
+        E01's encoded grid via the queue == the checkpointed direct
+        path, point for point."""
+        from repro.experiments.e01_encoded_memory import run as e01
+
+        direct = e01(quick=True, checkpoint=str(tmp_path / "direct.sqlite"))
+        viaq = e01(
+            quick=True,
+            checkpoint=str(tmp_path / "qcache.sqlite"),
+            queue=str(tmp_path / "queue.sqlite"),
+        )
+        assert [r["encoded_failure"] for r in viaq["rows"]] == [
+            r["encoded_failure"] for r in direct["rows"]
+        ]

@@ -1,0 +1,378 @@
+"""Durable scan queue: submit/claim/lease/complete life cycle.
+
+Everything here is single-process and deterministic: the lease protocol
+methods accept ``now=`` so expiry is driven by argument, not by
+sleeping.  Multi-process liveness, chaos faults, and the bit-for-bit
+guarantees live in ``test_threshold_chaos_scheduler.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.codes import SteaneCode
+from repro.threshold import (
+    JobDegraded,
+    JobFailed,
+    QueueCorrupt,
+    QueueSaturated,
+    ScanQueue,
+    scan_via_queue,
+    serve,
+)
+from repro.threshold.journal import CheckpointJournal, JournalSchemaError
+from repro.threshold.runtime import ResilienceOptions, execute_shards
+from repro.threshold.sharded import _build_specs
+
+
+SHOTS, SHARDS, SEED = 200, 4, 11
+
+
+@pytest.fixture
+def code():
+    return SteaneCode()
+
+
+@pytest.fixture
+def queue_path(tmp_path):
+    return tmp_path / "queue.sqlite"
+
+
+@pytest.fixture
+def cache_path(tmp_path):
+    return tmp_path / "cache.sqlite"
+
+
+@pytest.fixture
+def queue(queue_path, cache_path):
+    q = ScanQueue(queue_path, cache_path=cache_path)
+    yield q
+    q.close()
+
+
+def capacity_args(code, eps=0.05):
+    return (code, eps, 1)
+
+
+def direct_counts(code, eps=0.05, shots=SHOTS, seed=SEED, shards=SHARDS):
+    """Ground truth: the same shard plan executed straight through the
+    resilient runtime (shards are pure, so this is THE answer)."""
+    specs, _ = _build_specs("capacity", capacity_args(code, eps), shots, seed, shards)
+    counts = execute_shards(specs, 1, options=ResilienceOptions())
+    return sum(s for s, _ in counts), sum(f for _, f in counts)
+
+
+class TestSubmit:
+    def test_submit_creates_pending_job(self, queue, code):
+        handle = queue.submit_scan(
+            "capacity", capacity_args(code), SHOTS, SEED, num_shards=SHARDS
+        )
+        assert not handle.coalesced and handle.source is None
+        row = queue.job_row(handle.job_id)
+        assert row["state"] == "pending"
+        assert row["shots"] == SHOTS and row["num_shards"] == SHARDS
+        assert [e[1] for e in queue.events(handle.job_id)] == ["submitted"]
+
+    def test_validation(self, queue, code):
+        with pytest.raises(ValueError, match="unknown scan kind"):
+            queue.submit_scan("bogus", capacity_args(code), SHOTS)
+        with pytest.raises(ValueError, match="shots"):
+            queue.submit_scan("capacity", capacity_args(code), 0)
+        with pytest.raises(TypeError, match="SeedSequence"):
+            queue.submit_scan(
+                "capacity", capacity_args(code), SHOTS, np.random.default_rng(1)
+            )
+
+    def test_duplicate_submission_dedups_and_absorbs_priority(self, queue, code):
+        first = queue.submit_scan(
+            "capacity", capacity_args(code), SHOTS, SEED, priority=1,
+            num_shards=SHARDS,
+        )
+        dup = queue.submit_scan(
+            "capacity", capacity_args(code), SHOTS, SEED, priority=7,
+            num_shards=SHARDS,
+        )
+        assert dup.coalesced and dup.job_id == first.job_id
+        assert queue.job_row(first.job_id)["priority"] == 7
+        # A *lower*-priority duplicate must not demote the job.
+        queue.submit_scan(
+            "capacity", capacity_args(code), SHOTS, SEED, priority=0,
+            num_shards=SHARDS,
+        )
+        assert queue.job_row(first.job_id)["priority"] == 7
+
+    def test_distinct_seeds_are_distinct_jobs(self, queue, code):
+        a = queue.submit_scan("capacity", capacity_args(code), SHOTS, 1)
+        b = queue.submit_scan("capacity", capacity_args(code), SHOTS, 2)
+        assert a.job_id != b.job_id and a.run_key != b.run_key
+
+    def test_admission_control(self, tmp_path, code):
+        with ScanQueue(tmp_path / "small.sqlite", max_depth=2) as queue:
+            queue.submit_scan("capacity", capacity_args(code), SHOTS, 1)
+            queue.submit_scan("capacity", capacity_args(code), SHOTS, 2)
+            with pytest.raises(QueueSaturated):
+                queue.submit_scan("capacity", capacity_args(code), SHOTS, 3)
+            # Deduplication is not admission: resubmitting a queued scan
+            # coalesces instead of raising.
+            dup = queue.submit_scan("capacity", capacity_args(code), SHOTS, 1)
+            assert dup.coalesced
+
+    def test_failed_job_resubmission_resets_it(self, queue, code):
+        handle = queue.submit_scan(
+            "capacity", capacity_args(code), SHOTS, SEED, max_retries=0
+        )
+        job = queue.claim("w1", now=1000.0)
+        assert queue.release(job.job_id, "w1", error="boom", now=1001.0) == "failed"
+        assert handle.status() == "failed"
+        again = queue.submit_scan("capacity", capacity_args(code), SHOTS, SEED)
+        assert not again.coalesced and again.job_id == handle.job_id
+        row = queue.job_row(handle.job_id)
+        assert row["state"] == "pending" and row["attempts"] == 0
+
+
+class TestLeaseProtocol:
+    def submit(self, queue, code, **kw):
+        return queue.submit_scan(
+            "capacity", capacity_args(code), SHOTS, SEED, num_shards=SHARDS, **kw
+        )
+
+    def test_claim_leases_the_job(self, queue, code):
+        self.submit(queue, code)
+        job = queue.claim("w1", now=1000.0)
+        assert job is not None and job.owner == "w1" and job.attempt == 1
+        row = queue.job_row(job.job_id)
+        assert row["state"] == "leased"
+        assert row["lease_expires_unix"] == pytest.approx(1000.0 + queue.lease_seconds)
+        # Rebuilt payload round-trips: same kind/args identity.
+        assert job.kind == "capacity" and job.shots == SHOTS
+
+    def test_live_lease_blocks_second_claimant(self, queue, code):
+        self.submit(queue, code)
+        assert queue.claim("w1", now=1000.0) is not None
+        assert queue.claim("w2", now=1000.0 + queue.lease_seconds / 2) is None
+
+    def test_expired_lease_is_taken_over(self, queue, code):
+        self.submit(queue, code)
+        job = queue.claim("w1", now=1000.0)
+        takeover = queue.claim("w2", now=1000.0 + queue.lease_seconds + 1)
+        assert takeover is not None and takeover.owner == "w2"
+        assert takeover.job_id == job.job_id and takeover.attempt == 2
+        events = [e[1] for e in queue.events(job.job_id)]
+        assert "lease_takeover" in events
+
+    def test_heartbeat_extends_only_for_the_owner(self, queue, code):
+        self.submit(queue, code)
+        job = queue.claim("w1", now=1000.0)
+        assert queue.heartbeat(job.job_id, "w1", now=1050.0)
+        row = queue.job_row(job.job_id)
+        assert row["lease_expires_unix"] == pytest.approx(1050.0 + queue.lease_seconds)
+        assert not queue.heartbeat(job.job_id, "intruder", now=1051.0)
+
+    def test_stale_completion_rejected_after_takeover(self, queue, code):
+        handle = self.submit(queue, code)
+        job = queue.claim("w1", now=1000.0)
+        queue.claim("w2", now=1000.0 + queue.lease_seconds + 1)
+        # w1 wakes up late and tries to complete: owner guard rejects it.
+        assert not queue.complete(job.job_id, "w1", SHOTS, 3, now=2000.0)
+        assert handle.status() == "leased"
+        # The rightful owner's completion lands.
+        assert queue.complete(job.job_id, "w2", SHOTS, 3, now=2001.0)
+        events = [e[1] for e in queue.events(job.job_id)]
+        assert "stale_complete_rejected" in events and events[-1] == "completed"
+
+    def test_release_requeues_behind_backoff_then_fails(self, queue, code):
+        handle = self.submit(queue, code, max_retries=1)
+        job = queue.claim("w1", now=1000.0)
+        assert queue.release(job.job_id, "w1", error="boom", now=1001.0) == "retry"
+        row = queue.job_row(job.job_id)
+        assert row["state"] == "pending" and row["not_before_unix"] > 1001.0
+        # Backoff gate: not claimable until not_before passes.
+        assert queue.claim("w2", now=1001.0) is None
+        job2 = queue.claim("w2", now=row["not_before_unix"] + 0.01)
+        assert job2 is not None and job2.attempt == 2
+        assert queue.release(job2.job_id, "w2", error="boom2", now=1100.0) == "failed"
+        with pytest.raises(JobFailed, match="boom2"):
+            handle.result(timeout=0.01)
+
+    def test_release_by_stale_owner_is_a_noop(self, queue, code):
+        self.submit(queue, code)
+        job = queue.claim("w1", now=1000.0)
+        queue.claim("w2", now=1000.0 + queue.lease_seconds + 1)
+        assert queue.release(job.job_id, "w1", error="late", now=2000.0) == "stale"
+
+    def test_requeue_refunds_the_attempt(self, queue, code):
+        self.submit(queue, code)
+        job = queue.claim("w1", now=1000.0)
+        assert queue.requeue(job.job_id, "w1", now=1001.0)
+        row = queue.job_row(job.job_id)
+        assert row["state"] == "pending" and row["attempts"] == 0
+        # No backoff gate (drain is the host's fault, not the job's):
+        # claimable immediately.
+        assert queue.claim("w2", now=1001.0) is not None
+
+
+class TestIntegrity:
+    def test_tampered_row_is_quarantined_at_claim(self, queue, code):
+        handle = queue.submit_scan("capacity", capacity_args(code), SHOTS, SEED)
+        queue._conn.execute(
+            "UPDATE jobs SET shots = shots + 1 WHERE job_id = ?", (handle.job_id,)
+        )
+        with pytest.warns(QueueCorrupt):
+            assert queue.claim("w1", now=1000.0) is None
+        assert handle.status() == "corrupt"
+        with pytest.raises(JobFailed):
+            handle.result(timeout=0.01)
+
+    def test_tampered_result_fails_verification(self, queue, code):
+        handle = queue.submit_scan("capacity", capacity_args(code), SHOTS, SEED)
+        job = queue.claim("w1", now=1000.0)
+        queue.complete(job.job_id, "w1", SHOTS, 3, now=1001.0)
+        queue._conn.execute(
+            "UPDATE jobs SET result_failures = 30 WHERE job_id = ?",
+            (handle.job_id,),
+        )
+        with pytest.warns(QueueCorrupt):
+            with pytest.raises(JobFailed, match="checksum"):
+                handle.result(timeout=0.01)
+        assert handle.status() == "corrupt"
+
+    def test_queue_refuses_journal_files(self, cache_path, queue_path, code):
+        with CheckpointJournal(cache_path):
+            pass
+        with pytest.raises(JournalSchemaError):
+            ScanQueue(cache_path)
+        # And vice versa: a journal API pointed at a queue file refuses.
+        with ScanQueue(queue_path):
+            pass
+        with pytest.raises(JournalSchemaError):
+            CheckpointJournal(queue_path)
+
+    def test_queue_refuses_future_schema(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        conn = sqlite3.connect(str(path))
+        conn.execute("PRAGMA user_version = 99")
+        conn.commit()
+        conn.close()
+        with pytest.raises(JournalSchemaError, match="version"):
+            ScanQueue(path)
+
+    def test_queue_handle_refuses_to_pickle(self, queue):
+        with pytest.raises(TypeError, match="cannot be pickled"):
+            pickle.dumps(queue)
+
+    def test_stats_counts_states(self, queue, code):
+        queue.submit_scan("capacity", capacity_args(code), SHOTS, 1)
+        queue.submit_scan("capacity", capacity_args(code), SHOTS, 2)
+        queue.claim("w1", now=1000.0)
+        stats = queue.stats()
+        assert stats["pending"] == 1 and stats["leased"] == 1
+        assert stats["depth"] == 2
+
+
+class TestServeAndCoalescing:
+    def test_serve_drains_and_results_match_direct_execution(
+        self, queue_path, cache_path, code
+    ):
+        with ScanQueue(queue_path, cache_path=cache_path) as queue:
+            handle = queue.submit_scan(
+                "capacity", capacity_args(code), SHOTS, SEED, num_shards=SHARDS
+            )
+            report = serve(queue_path, cache_path, drain_on_empty=True)
+            assert report.claimed == report.completed == 1
+            result = handle.result(timeout=5.0)
+        assert result.source == "computed"
+        assert (result.shots, result.failures) == direct_counts(code)
+
+    def test_cache_answerable_submission_never_builds_a_pool(
+        self, queue_path, cache_path, code, monkeypatch
+    ):
+        """The acceptance criterion's booby trap: prime the cache, then
+        make pool construction explode and spy on shard execution — a
+        coalesced submission must touch neither."""
+        from repro.threshold import runtime, sharded
+
+        with ScanQueue(queue_path, cache_path=cache_path) as queue:
+            queue.submit_scan(
+                "capacity", capacity_args(code), SHOTS, SEED, num_shards=SHARDS
+            )
+            serve(queue_path, cache_path, drain_on_empty=True)
+        expected = direct_counts(code)  # before the spy: this executes shards
+
+        executed = []
+        real_run_shard = sharded._run_shard
+        monkeypatch.setattr(
+            sharded, "_run_shard",
+            lambda spec: executed.append(spec) or real_run_shard(spec),
+        )
+
+        def _trapped_pool(*a, **k):  # pragma: no cover - must never run
+            raise AssertionError("coalesced submission constructed a pool")
+
+        monkeypatch.setattr(runtime, "_get_pool", _trapped_pool)
+
+        # A *fresh* queue sharing the same result cache: coalescing must
+        # come from the cache, not from dedup onto the old done row.
+        fresh_queue = queue_path.with_name("fresh.sqlite")
+        with ScanQueue(fresh_queue, cache_path=cache_path) as queue:
+            # Same run key: full cache hit.
+            hit = queue.submit_scan(
+                "capacity", capacity_args(code), SHOTS, SEED, num_shards=SHARDS
+            )
+            assert hit.coalesced and hit.source == "cache"
+            result = hit.result(timeout=0.5)
+            assert (result.shots, result.failures) == expected
+            # Different seed, smaller budget: cross-run pooling answers it.
+            pooled = queue.submit_scan(
+                "capacity", capacity_args(code), SHOTS // 2, SEED + 1
+            )
+            assert pooled.coalesced and pooled.source == "pooled"
+            assert pooled.result(timeout=0.5).shots >= SHOTS // 2
+        assert executed == []
+
+    def test_scan_via_queue_returns_results_in_request_order(
+        self, queue_path, cache_path, code
+    ):
+        requests = [
+            ("capacity", capacity_args(code, 0.05), SHOTS, 21),
+            ("capacity", capacity_args(code, 0.08), SHOTS, 22),
+        ]
+        results = scan_via_queue(queue_path, requests, cache_path=cache_path)
+        assert [r.source for r in results] == ["computed", "computed"]
+        for (kind, args, shots, seed), res in zip(requests, results):
+            specs, _ = _build_specs(kind, args, shots, seed, None)
+            counts = execute_shards(specs, 1, options=ResilienceOptions())
+            assert (res.shots, res.failures) == (
+                sum(s for s, _ in counts),
+                sum(f for _, f in counts),
+            )
+
+    def test_degraded_execution_is_flagged_on_the_job(
+        self, queue_path, tmp_path, code
+    ):
+        """A job whose checkpoint path is unusable still completes (the
+        runtime degrades to uncheckpointed execution) but carries the
+        degraded flag, and the handle warns JobDegraded."""
+        bad_cache = tmp_path / "not-a-dir" / "cache.sqlite"
+        with ScanQueue(queue_path) as queue:
+            handle = queue.submit_scan(
+                "capacity", capacity_args(code), SHOTS, SEED, num_shards=SHARDS
+            )
+            with pytest.warns(UserWarning):
+                report = serve(queue_path, bad_cache, drain_on_empty=True)
+            assert report.completed == 1
+            with pytest.warns(JobDegraded):
+                result = handle.result(timeout=5.0)
+        assert result.degraded
+        assert (result.shots, result.failures) == direct_counts(code)
+
+    def test_active_run_keys_reflects_live_jobs(self, queue, code):
+        handle = queue.submit_scan("capacity", capacity_args(code), SHOTS, SEED)
+        assert handle.run_key in queue.active_run_keys()
+        job = queue.claim("w1", now=1000.0)
+        assert handle.run_key in queue.active_run_keys()
+        queue.complete(job.job_id, "w1", SHOTS, 3, now=1001.0)
+        assert handle.run_key not in queue.active_run_keys()
