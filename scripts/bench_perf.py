@@ -21,6 +21,13 @@ The guard compares like-for-like: the single-process ``compiled`` entry is
 always checked against the stored single-process entry, and the sharded
 entry only against a stored sharded entry with the *same* worker count —
 a multi-core datapoint can never mask a single-core regression.
+
+Since schema v5 the file keys one baseline record per
+``(hostname, cpu_count)`` host — ``"vm|1cpu"`` — so a run on unlike
+hardware starts its own ratchet instead of silently skipping the guard
+(the v4 behavior, which left multi-core runs permanently unguarded
+against the committed single-core record).  Records from v4 files are
+migrated under their own host key on first load.
 """
 
 from __future__ import annotations
@@ -44,7 +51,9 @@ from repro.threshold import memory_experiment  # noqa: E402
 from repro.threshold.sharded import DEFAULT_NUM_SHARDS  # noqa: E402
 
 BENCH_PATH = REPO_ROOT / "BENCH_pauliframe.json"
-SCHEMA_VERSION = 4  # v3 adds the optional cache_hit entry; v4 adds queue
+# v3 adds the optional cache_hit entry; v4 adds queue; v5 keys one record
+# per (hostname, cpu_count) host under "host_baselines".
+SCHEMA_VERSION = 5
 REGRESSION_TOLERANCE = 0.20  # refuse overwrite when >20% slower
 
 
@@ -230,6 +239,33 @@ def _protocol_key(record: dict) -> tuple:
     return (config.get("shots"), config.get("rounds"), config.get("noise"))
 
 
+def _host_key(record: dict) -> str:
+    """Baseline key: one ratchet per (hostname, cpu_count) host.
+
+    Throughput across unlike hardware says nothing about the code, so each
+    host carries its own record — the fix for the v4 behavior where a core
+    -count mismatch *skipped* the guard entirely, leaving every run on new
+    hardware permanently unguarded against the committed record.
+    """
+    config = record.get("config", {})
+    return f"{config.get('hostname', 'unknown')}|{config.get('cpu_count', 0)}cpu"
+
+
+def load_baselines(path: Path) -> dict[str, dict]:
+    """Stored baselines as a ``host key -> record`` map.
+
+    A v<=4 file (one bare record at the top level) is migrated under its
+    own host key, so pre-existing baselines keep guarding the host that
+    recorded them.
+    """
+    if not Path(path).exists():
+        return {}
+    data = json.loads(Path(path).read_text())
+    if "host_baselines" in data:
+        return dict(data["host_baselines"])
+    return {_host_key(data): data}
+
+
 def check_regression(new: dict, old: dict) -> str | None:
     """Error string when ``new`` regresses >tolerance against ``old``.
 
@@ -238,23 +274,13 @@ def check_regression(new: dict, old: dict) -> str | None:
     full-size baseline) compare nothing, the single-process ``compiled``
     entries are always compared for same-protocol records, and ``sharded``
     entries only when both records carry one with the same ``workers`` — a
-    multi-core datapoint can never mask a single-core regression.  A
-    baseline recorded on a host with a *different core count* compares
-    nothing either: throughput across unlike hardware says nothing about
-    the code (the recorded 1-cpu 0.85x sharded datapoint must not poison
-    comparisons once the bench runs on multi-core hardware).
+    multi-core datapoint can never mask a single-core regression.  Unlike
+    *hardware* never meets here at all: baselines are keyed per
+    (hostname, cpu_count) host, so a run on a new host starts a fresh
+    ratchet instead of being compared against (or excused by) a record
+    from different silicon.
     """
     if _protocol_key(new) != _protocol_key(old):
-        return None
-    new_cpus = new.get("config", {}).get("cpu_count")
-    old_cpus = old.get("config", {}).get("cpu_count")
-    if new_cpus != old_cpus:
-        print(
-            f"note: baseline was recorded on a {old_cpus}-cpu host, this run "
-            f"on {new_cpus} cpus — skipping the regression guard "
-            f"(not like-for-like hardware)",
-            file=sys.stderr,
-        )
         return None
     err = _rate_regression(new.get("compiled", {}), old.get("compiled", {}), "compiled")
     if err:
@@ -267,29 +293,60 @@ def check_regression(new: dict, old: dict) -> str | None:
     return None
 
 
-def write_guarded(record: dict, path: Path = BENCH_PATH, force: bool = False) -> int:
-    """Write the record unless it regresses against the stored baseline.
+def _dump_baselines(baselines: dict[str, dict], path: Path) -> None:
+    payload = {
+        "bench": "p01_frame_engine",
+        "schema_version": SCHEMA_VERSION,
+        "comment": (
+            "One baseline record per (hostname, cpu_count) host; the "
+            "regression guard only ever compares a run against its own "
+            "host's record.  See PERF.md."
+        ),
+        "host_baselines": {key: baselines[key] for key in sorted(baselines)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n")
 
-    A record measured under a different protocol (e.g. --quick) never
-    silently replaces the stored baseline — incomparable writes are refused
-    the same way regressions are, and need --force.  A stored sharded
-    baseline is never silently lost either: a run without ``--workers``
-    carries it forward, and a run with a *different* worker count is
-    refused (nothing to compare it against).
+
+def write_guarded(record: dict, path: Path = BENCH_PATH, force: bool = False) -> int:
+    """Write the record unless it regresses against this host's baseline.
+
+    Baselines are keyed per (hostname, cpu_count); only the record under
+    this host's key is compared or replaced — other hosts' records always
+    survive the write untouched.  A host with no stored record writes
+    fresh (a new ratchet starts), never skips.  Against the same host's
+    record: a different protocol (e.g. --quick vs the full-size baseline)
+    is refused rather than silently replacing it, a stored sharded /
+    cache_hit / queue datapoint missing from this run is carried forward
+    rather than silently dropped, a sharded run at a *different* worker
+    count is refused (nothing to compare it against), and a >tolerance
+    throughput regression is refused.  --force bypasses the refusals for
+    this host's record only.
     """
-    if path.exists() and not force:
-        old = json.loads(path.read_text())
+    baselines = load_baselines(path)
+    key = _host_key(record)
+    old = baselines.get(key)
+    if old is not None and not force:
         if _protocol_key(record) != _protocol_key(old):
             print(
-                f"NOT COMPARABLE: stored baseline was measured at "
-                f"shots/rounds/noise = {_protocol_key(old)}, this run at "
-                f"{_protocol_key(record)}; refusing to overwrite "
-                f"{path.name} (use --force to replace the protocol)",
+                f"NOT COMPARABLE: stored baseline for host {key} was "
+                f"measured at shots/rounds/noise = {_protocol_key(old)}, "
+                f"this run at {_protocol_key(record)}; refusing to "
+                f"overwrite {path.name} (use --force to replace the "
+                f"protocol)",
                 file=sys.stderr,
             )
             return 2
         old_sh = old.get("sharded")
         new_sh = record.get("sharded")
+        if old_sh and new_sh and new_sh.get("workers") != old_sh.get("workers"):
+            print(
+                f"NOT COMPARABLE: stored sharded baseline for host {key} "
+                f"used workers={old_sh.get('workers')}, this run "
+                f"workers={new_sh.get('workers')}; re-run with the stored "
+                f"worker count or --force to replace it",
+                file=sys.stderr,
+            )
+            return 2
         if old_sh and not new_sh:
             # Keep the multi-worker baseline alive, flagged as coming from
             # an earlier run: its scaling_vs_compiled refers to *that*
@@ -310,21 +367,13 @@ def write_guarded(record: dict, path: Path = BENCH_PATH, force: bool = False) ->
                 **record,
                 "queue": {**old["queue"], "carried_forward": True},
             }
-        elif old_sh and new_sh and new_sh.get("workers") != old_sh.get("workers"):
-            print(
-                f"NOT COMPARABLE: stored sharded baseline used "
-                f"workers={old_sh.get('workers')}, this run "
-                f"workers={new_sh.get('workers')}; re-run with the stored "
-                f"worker count or --force to replace it",
-                file=sys.stderr,
-            )
-            return 2
         err = check_regression(record, old)
         if err:
             print(f"REGRESSION: {err}", file=sys.stderr)
             return 2
-    path.write_text(json.dumps(record, indent=1) + "\n")
-    print(f"wrote {path}")
+    baselines[key] = record
+    _dump_baselines(baselines, path)
+    print(f"wrote {path} ({key})")
     return 0
 
 
@@ -400,11 +449,16 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     if args.check:
-        if args.out.exists():
-            old = json.loads(args.out.read_text())
-            if _protocol_key(record) != _protocol_key(old):
-                print("stored baseline uses a different protocol; nothing to compare")
-                return 0
+        old = load_baselines(args.out).get(_host_key(record))
+        if old is None:
+            print(
+                f"no stored baseline for host {_host_key(record)}; "
+                f"nothing to compare (a guarded write would start a "
+                f"fresh ratchet for this host)"
+            )
+        elif _protocol_key(record) != _protocol_key(old):
+            print("stored baseline uses a different protocol; nothing to compare")
+        else:
             err = check_regression(record, old)
             if err:
                 print(f"REGRESSION: {err}", file=sys.stderr)

@@ -7,8 +7,11 @@ otherwise draw entropy just to be inspected).
 
 Profiles
 --------
-* ``"src"`` — the full rule catalog; applied to ``src/``, ``scripts/``,
-  ``benchmarks/``, and the repo-root driver scripts.
+* ``"src"`` — the full rule catalog; applied to ``src/`` and
+  ``examples/``.
+* ``"tools"`` — ``scripts/``, ``benchmarks/``, and the repo-root driver
+  scripts; currently the full catalog under its own name so tool-only
+  relaxations have a home.
 * ``"tests"`` — the RNG family only (RPL101–RPL104): tests legitimately
   poke pickling and concurrency internals, but a test drawing unseeded
   randomness is flaky *by construction* and may not land.
@@ -33,7 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
-from repro.analysis import rules_concurrency, rules_pickle, rules_rng
+from repro.analysis import rules_concurrency, rules_pickle, rules_rng, rules_sql
 from repro.analysis.diagnostics import Diagnostic, parse_suppressions
 
 __all__ = [
@@ -50,11 +53,16 @@ __all__ = [
 
 BASELINE_NAME = ".analysis_baseline.json"
 
-_RULE_MODULES = (rules_rng, rules_pickle, rules_concurrency)
+_RULE_MODULES = (rules_rng, rules_pickle, rules_concurrency, rules_sql)
 
 # Rule families active per profile.  ``None`` means "every rule".
+# ``tools`` (scripts/, benchmarks/, the repo-root drivers) currently
+# carries the full catalog like ``src`` — it exists as its own name so
+# tool-only relaxations or additions have a home without touching the
+# library profile.
 PROFILES: dict[str, frozenset[str] | None] = {
     "src": None,
+    "tools": None,
     "tests": frozenset({"RPL101", "RPL102", "RPL103", "RPL104"}),
 }
 
@@ -121,8 +129,8 @@ def collect_targets(root: Path) -> list[tuple[Path, str]]:
     targets: list[tuple[Path, str]] = []
     for base, profile in (
         ("src", "src"),
-        ("scripts", "src"),
-        ("benchmarks", "src"),
+        ("scripts", "tools"),
+        ("benchmarks", "tools"),
         ("examples", "src"),
         ("tests", "tests"),
     ):
@@ -134,7 +142,7 @@ def collect_targets(root: Path) -> list[tuple[Path, str]]:
     for name in ("scripts_run_full.py", "setup.py"):
         path = root / name
         if path.is_file():
-            targets.append((path, "src"))
+            targets.append((path, "tools"))
     return targets
 
 
@@ -265,4 +273,10 @@ def _infer_profile(root: Path, path: Path) -> str:
         rel = path.resolve().relative_to(root.resolve())
     except ValueError:
         return "src"
-    return "tests" if rel.parts and rel.parts[0] == "tests" else "src"
+    if rel.parts and rel.parts[0] == "tests":
+        return "tests"
+    if rel.parts and rel.parts[0] in ("scripts", "benchmarks"):
+        return "tools"
+    if len(rel.parts) == 1 and rel.parts[0] in ("scripts_run_full.py", "setup.py"):
+        return "tools"
+    return "src"

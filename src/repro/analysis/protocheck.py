@@ -1,0 +1,567 @@
+"""Static SQL conformance: scheduler DML vs. the declared protocol.
+
+The second verification leg of ``repro.analysis`` (the first is the
+per-file AST lint, the third the packed-program verifier, the fourth the
+interleaving explorer).  This module proves — statically, without
+importing or executing the scheduler — that every ``UPDATE jobs`` /
+``INSERT INTO jobs`` statement in ``src/repro/threshold/scheduler.py``
+implements a transition declared in ``repro.analysis.protospec``:
+
+* an AST extractor finds every jobs-table DML string, folding implicit
+  and ``+``-concatenated literals, recording the enclosing method, and
+  flagging SQL it cannot see through (f-strings, ``sql += ...``) as
+  RPL406;
+* ``repro.analysis.sqlmini`` parses each statement's SET/WHERE shape;
+* the checker matches statements against the spec's rules, emitting
+  typed ``RPL4xx`` diagnostics for every way an implementation can
+  defect from the protocol (see the catalog in ``diagnostics.py`` and
+  ANALYSIS.md).
+
+There is **no suppression syntax** for protocol diagnostics: a statement
+that genuinely needs a new shape gets a new declared rule in protospec,
+reviewed as a protocol change — not a lint waiver.
+
+Mutation tests (``tests/test_analysis_protocheck.py``) seed fence-drops,
+rogue edges, checksum-skipping identity writes, wrong-source terminal
+writes, stampless lease grants, and unfenced requeues into patched
+copies of the real source and assert each is caught; the shipped file
+verifies clean in CI (``python -m repro.analysis --verify-protocol``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.protospec import (
+    BIRTH,
+    BIRTH_STATES,
+    CHECKSUM_COLUMN,
+    IDENTITY_COLUMNS,
+    JOB_STATES,
+    TRANSITION_SPEC,
+)
+from repro.analysis.sqlmini import (
+    InsertStatement,
+    SqlParseError,
+    UpdateStatement,
+    parse_statement,
+)
+
+__all__ = [
+    "ExtractedSql",
+    "ProtocolReport",
+    "check_source",
+    "extract_jobs_dml",
+    "verify_scheduler_protocol",
+]
+
+# A statement that *starts* as jobs DML is checked; a fragment that
+# merely mentions jobs DML mid-string (f-string piece, concat operand)
+# marks dynamic assembly the checker cannot see through.
+_JOBS_DML_RE = re.compile(r"^\s*(?:UPDATE|INSERT\s+INTO)\s+jobs\b", re.IGNORECASE)
+_JOBS_FRAGMENT_RE = re.compile(r"(?:UPDATE|INSERT\s+INTO)\s+jobs\b", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class ExtractedSql:
+    """One jobs-table DML statement recovered from the source."""
+
+    sql: str
+    line: int
+    method: str  # innermost enclosing function that is not a txn closure
+
+
+@dataclass
+class ProtocolReport:
+    """Outcome of one conformance run over one source file."""
+
+    path: str
+    statements: tuple = ()
+    diagnostics: list = field(default_factory=list)
+    matched_rules: frozenset = frozenset()
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+
+# Local transaction closures (`def _txn()`) are an implementation detail
+# of the scheduler's lock-retry wrapper; the protocol binds rules to the
+# *method* that owns the transaction.
+_TXN_NAMES = frozenset({"_txn", "_retry", "_body"})
+
+
+class _SqlExtractor(ast.NodeVisitor):
+    def __init__(self, path: str, lines: list) -> None:
+        self.path = path
+        self.lines = lines
+        self.statements: list = []
+        self.diagnostics: list = []
+        self._func_stack: list = []
+        self._consumed: set = set()  # Constant node ids folded into a BinOp
+        self._sql_names: set = set()  # names bound to jobs-DML strings
+
+    # -- helpers -------------------------------------------------------
+
+    def _method(self) -> str:
+        for name in reversed(self._func_stack):
+            if name not in _TXN_NAMES:
+                return name
+        return self._func_stack[-1] if self._func_stack else "<module>"
+
+    def _snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def _dynamic(self, node: ast.AST, how: str) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                rule="RPL406",
+                path=self.path,
+                line=node.lineno,
+                message=(
+                    f"jobs-table SQL assembled dynamically ({how}) in "
+                    f"{self._method()}() — protocheck cannot verify what it "
+                    "executes; use a static statement per shape"
+                ),
+                snippet=self._snippet(node.lineno),
+            )
+        )
+
+    @staticmethod
+    def _fold(node: ast.AST):
+        """Fold a Constant / BinOp(Add) tree of str constants, or None."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            left = _SqlExtractor._fold(node.left)
+            right = _SqlExtractor._fold(node.right)
+            if left is not None and right is not None:
+                return left + right
+        return None
+
+    @staticmethod
+    def _constant_parts(node: ast.AST) -> list:
+        parts = []
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                parts.append(sub.value)
+        return parts
+
+    # -- visitors ------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Add):
+            folded = self._fold(node)
+            if folded is not None:
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Constant):
+                        self._consumed.add(id(sub))
+                if _JOBS_DML_RE.match(folded):
+                    self.statements.append(
+                        ExtractedSql(folded, node.lineno, self._method())
+                    )
+                return
+            # Partially-constant concatenation: if any piece is jobs DML
+            # the statement is invisible to the checker.
+            if any(
+                _JOBS_FRAGMENT_RE.search(part)
+                for part in self._constant_parts(node)
+            ):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Constant):
+                        self._consumed.add(id(sub))
+                self._dynamic(node, "+ concatenation with a non-constant")
+                return
+        if isinstance(node.op, ast.Mod) and isinstance(node.left, ast.Constant):
+            if isinstance(node.left.value, str) and _JOBS_FRAGMENT_RE.search(
+                node.left.value
+            ):
+                self._consumed.add(id(node.left))
+                self._dynamic(node, "% formatting")
+                return
+        self.generic_visit(node)
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        if any(_JOBS_FRAGMENT_RE.search(p) for p in self._constant_parts(node)):
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Constant):
+                    self._consumed.add(id(sub))
+            self._dynamic(node, "f-string")
+            return
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        folded = self._fold(node.value)
+        if folded is not None and _JOBS_FRAGMENT_RE.search(folded):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._sql_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target_is_sql = (
+            isinstance(node.target, ast.Name) and node.target.id in self._sql_names
+        )
+        value = self._fold(node.value)
+        value_is_sql = value is not None and _JOBS_FRAGMENT_RE.search(value)
+        if target_is_sql or value_is_sql:
+            self._dynamic(node, "augmented assignment (sql += ...)")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "format"
+            and isinstance(node.func.value, ast.Constant)
+            and isinstance(node.func.value.value, str)
+            and _JOBS_FRAGMENT_RE.search(node.func.value.value)
+        ):
+            self._consumed.add(id(node.func.value))
+            self._dynamic(node, ".format() call")
+            return
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if (
+            id(node) not in self._consumed
+            and isinstance(node.value, str)
+            and _JOBS_DML_RE.match(node.value)
+        ):
+            self.statements.append(
+                ExtractedSql(node.value, node.lineno, self._method())
+            )
+
+
+def extract_jobs_dml(source: str, path: str):
+    """All jobs-table DML statements plus RPL406 diagnostics."""
+    tree = ast.parse(source, filename=path)
+    extractor = _SqlExtractor(path, source.splitlines())
+    extractor.visit(tree)
+    return extractor.statements, extractor.diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Conformance checking
+# ---------------------------------------------------------------------------
+
+
+def _diag(rule: str, stmt: ExtractedSql, path: str, message: str) -> Diagnostic:
+    first_line = stmt.sql.strip().splitlines()[0][:80]
+    return Diagnostic(
+        rule=rule, path=path, line=stmt.line, message=message, snippet=first_line
+    )
+
+
+@dataclass
+class _Mismatch:
+    rule_code: str
+    message: str
+
+
+def _check_update_against(
+    rule, stmt: ExtractedSql, parsed: UpdateStatement, rpl403: bool
+) -> list:
+    """All the ways this statement defects from one candidate rule."""
+    mismatches: list = []
+    set_cols = parsed.set_columns
+    value_cols = {c for c in set_cols if c != "state"}
+
+    if parsed.where_value("job_id") is None or not parsed.where_value("job_id").is_param:
+        mismatches.append(
+            _Mismatch(
+                "RPL401",
+                f"{rule.name} ({stmt.method}) must scope its UPDATE to a "
+                "single row with WHERE job_id=?",
+            )
+        )
+
+    if rule.fenced:
+        owner = parsed.where_value("lease_owner")
+        if owner is None or not owner.is_param:
+            mismatches.append(
+                _Mismatch(
+                    "RPL402",
+                    f"{rule.name} ({stmt.method}) dropped the owner fence: "
+                    "WHERE must include lease_owner=? so a stale claimant's "
+                    "write loses instead of clobbering the current owner",
+                )
+            )
+        state_pin = parsed.where_value("state")
+        if state_pin is None:
+            mismatches.append(
+                _Mismatch(
+                    "RPL404",
+                    f"{rule.name} ({stmt.method}) does not pin its source "
+                    f"state: WHERE must include state='{rule.where_state}'",
+                )
+            )
+        elif state_pin.kind != "string" or state_pin.text != rule.where_state:
+            found = state_pin.text if state_pin.kind == "string" else state_pin.kind
+            mismatches.append(
+                _Mismatch(
+                    "RPL404",
+                    f"{rule.name} ({stmt.method}) pins the wrong source "
+                    f"state: declared state='{rule.where_state}', statement "
+                    f"has state={found!r}",
+                )
+            )
+
+    missing = set(rule.must_set) - value_cols
+    if rpl403:
+        missing.discard(CHECKSUM_COLUMN)  # already reported as RPL403
+    if missing:
+        code = "RPL405" if rule.target == "leased" else "RPL401"
+        what = (
+            "lease grant is missing required stamps"
+            if rule.target == "leased"
+            else f"{rule.name} is missing required column writes"
+        )
+        mismatches.append(
+            _Mismatch(
+                code,
+                f"{what} ({stmt.method}): {', '.join(sorted(missing))}",
+            )
+        )
+
+    for column in sorted(rule.must_clear & value_cols):
+        if not set_cols[column].is_null:
+            mismatches.append(
+                _Mismatch(
+                    "RPL401",
+                    f"{rule.name} ({stmt.method}) must clear {column} to "
+                    f"NULL, not {set_cols[column].text!r}",
+                )
+            )
+
+    allowed = set(rule.must_set) | set(rule.may_set) | {CHECKSUM_COLUMN}
+    extra = value_cols - allowed
+    if extra:
+        mismatches.append(
+            _Mismatch(
+                "RPL401",
+                f"{rule.name} ({stmt.method}) writes undeclared columns: "
+                f"{', '.join(sorted(extra))}",
+            )
+        )
+
+    for column, shape in rule.set_exact:
+        if column in set_cols:
+            got = set_cols[column]
+            got_text = got.text.replace(" ", "").lower()
+            if got_text != shape:
+                code = "RPL405" if rule.target == "leased" else "RPL401"
+                mismatches.append(
+                    _Mismatch(
+                        code,
+                        f"{rule.name} ({stmt.method}) must write "
+                        f"{column}={shape}, statement has {got.text!r}",
+                    )
+                )
+    return mismatches
+
+
+def _check_update(stmt: ExtractedSql, parsed: UpdateStatement, path: str):
+    """Diagnostics plus the name of the rule this statement matched."""
+    diagnostics: list = []
+    set_cols = parsed.set_columns
+
+    rpl403 = False
+    identity_written = set(set_cols) & IDENTITY_COLUMNS
+    if identity_written and CHECKSUM_COLUMN not in set_cols:
+        rpl403 = True
+        diagnostics.append(
+            _diag(
+                "RPL403",
+                stmt,
+                path,
+                "identity columns rewritten without recomputing the row "
+                f"checksum in the same statement: {', '.join(sorted(identity_written))} "
+                "— a later claim would verify stale bytes",
+            )
+        )
+
+    target = None
+    if "state" in set_cols:
+        value = set_cols["state"]
+        if value.kind != "string":
+            diagnostics.append(
+                _diag(
+                    "RPL401",
+                    stmt,
+                    path,
+                    f"state written from a non-literal ({value.kind}) — the "
+                    "transition target must be statically visible",
+                )
+            )
+            return diagnostics, None
+        target = value.text
+        if target not in JOB_STATES:
+            diagnostics.append(
+                _diag("RPL401", stmt, path, f"unknown state {target!r} written")
+            )
+            return diagnostics, None
+
+    candidates = [
+        rule
+        for rule in TRANSITION_SPEC
+        if rule.method == stmt.method and rule.target == target
+    ]
+    if not candidates:
+        kind = (
+            f"transition to '{target}'" if target is not None else "column write"
+        )
+        diagnostics.append(
+            _diag(
+                "RPL401",
+                stmt,
+                path,
+                f"undeclared {kind} in {stmt.method}() — no TransitionRule "
+                "in repro.analysis.protospec declares this edge; rogue "
+                "writes bypass the verified protocol",
+            )
+        )
+        return diagnostics, None
+
+    scored = [
+        (rule, _check_update_against(rule, stmt, parsed, rpl403))
+        for rule in candidates
+    ]
+    rule, mismatches = min(scored, key=lambda pair: len(pair[1]))
+    for mismatch in mismatches:
+        diagnostics.append(_diag(mismatch.rule_code, stmt, path, mismatch.message))
+    if mismatches:
+        return diagnostics, None
+    return diagnostics, rule.name
+
+
+def _check_insert(stmt: ExtractedSql, parsed: InsertStatement, path: str):
+    diagnostics: list = []
+    if stmt.method != BIRTH.method:
+        diagnostics.append(
+            _diag(
+                "RPL401",
+                stmt,
+                path,
+                f"INSERT INTO jobs outside {BIRTH.method}() — row births are "
+                "declared only in the submit path",
+            )
+        )
+        return diagnostics, None
+
+    columns = set(parsed.columns)
+    missing = set(BIRTH.required_columns) - columns
+    if CHECKSUM_COLUMN in missing and (IDENTITY_COLUMNS & columns):
+        missing.discard(CHECKSUM_COLUMN)
+        diagnostics.append(
+            _diag(
+                "RPL403",
+                stmt,
+                path,
+                "job row born without its identity checksum — the claim-side "
+                "verification could never pass",
+            )
+        )
+    if missing:
+        diagnostics.append(
+            _diag(
+                "RPL401",
+                stmt,
+                path,
+                f"birth INSERT is missing required columns: "
+                f"{', '.join(sorted(missing))}",
+            )
+        )
+
+    state_value = parsed.column_values.get("state")
+    if state_value is not None and state_value.kind == "string":
+        if state_value.text not in BIRTH_STATES:
+            diagnostics.append(
+                _diag(
+                    "RPL401",
+                    stmt,
+                    path,
+                    f"row born in undeclared state {state_value.text!r} "
+                    f"(allowed: {', '.join(sorted(BIRTH_STATES))})",
+                )
+            )
+    # A parameterized state is the declared shape: Python chooses from
+    # BIRTH_STATES ('done' only for submit-time coalescing).
+
+    if diagnostics:
+        return diagnostics, None
+    return diagnostics, BIRTH.name
+
+
+def check_source(source: str, path: str = "scheduler.py") -> ProtocolReport:
+    """Verify one source file's jobs DML against the declared protocol."""
+    statements, diagnostics = extract_jobs_dml(source, path)
+    matched: set = set()
+    for stmt in statements:
+        try:
+            parsed = parse_statement(stmt.sql)
+        except SqlParseError as exc:
+            diagnostics.append(
+                _diag(
+                    "RPL406",
+                    stmt,
+                    path,
+                    f"jobs-table statement outside the verifiable mini-"
+                    f"dialect: {exc}",
+                )
+            )
+            continue
+        if parsed.table != "jobs":
+            continue
+        if isinstance(parsed, UpdateStatement):
+            found, rule_name = _check_update(stmt, parsed, path)
+        else:
+            found, rule_name = _check_insert(stmt, parsed, path)
+        diagnostics.extend(found)
+        if rule_name is not None:
+            matched.add(rule_name)
+
+    declared = {rule.name for rule in TRANSITION_SPEC} | {BIRTH.name}
+    for name in sorted(declared - matched):
+        rule = next(
+            (r for r in TRANSITION_SPEC if r.name == name), BIRTH
+        )
+        diagnostics.append(
+            Diagnostic(
+                rule="RPL407",
+                path=path,
+                line=1,
+                message=(
+                    f"declared transition '{name}' ({rule.method}) has no "
+                    "conforming statement — the implementation dropped a "
+                    "protocol edge (or defected from its declared shape)"
+                ),
+                snippet=f"protospec:{name}",
+            )
+        )
+
+    diagnostics.sort(key=lambda d: (d.line, d.rule))
+    return ProtocolReport(
+        path=path,
+        statements=tuple(statements),
+        diagnostics=diagnostics,
+        matched_rules=frozenset(matched),
+    )
+
+
+def verify_scheduler_protocol(path) -> ProtocolReport:
+    """Read and verify the scheduler source on disk."""
+    target = Path(path)
+    return check_source(target.read_text(encoding="utf-8"), str(target))

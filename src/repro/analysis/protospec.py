@@ -1,0 +1,359 @@
+"""The declared scheduler protocol: one transition table, machine-checked.
+
+This module is the *specification* side of the scheduler protocol
+verifier (``repro.analysis.protocheck``).  It declares, as plain data,
+the state machine the durable scan queue (`repro.threshold.scheduler`)
+is allowed to implement:
+
+* the job states and which of them are terminal,
+* every legal state transition, bound to the method that performs it,
+* which transitions must carry the owner fence
+  (``WHERE lease_owner = ? AND state = 'leased'``) — the double-claim
+  firewall,
+* which columns each transition must write, which it must clear to
+  NULL, and which writes have an exact required shape (the attempt
+  charge and the drain refund),
+* the identity columns whose rewrite must recompute the row checksum.
+
+``scheduler.py`` imports :data:`JOB_STATES` from here (so the
+implementation and the spec literally cannot disagree about the state
+set) and re-exports :data:`TRANSITION_SPEC` as the protocol's source of
+truth; ``SCHEDULER.md`` embeds :func:`transition_diagram` and a test
+pins the embedding so the docs cannot drift either.
+
+Everything here is stdlib-only: the analysis pass must be importable
+before numpy (or anything else) is installed, and it must never import
+the code it verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "BIRTH",
+    "BIRTH_STATES",
+    "BirthRule",
+    "CHECKSUM_COLUMN",
+    "IDENTITY_COLUMNS",
+    "JOB_STATES",
+    "LEASE_COLUMNS",
+    "TERMINAL_STATES",
+    "TRANSITION_SPEC",
+    "TransitionRule",
+    "transition_diagram",
+]
+
+# The job state machine.  Order matters for display only; membership is
+# the contract (shared with repro.threshold.scheduler._JOB_STATES).
+JOB_STATES = ("pending", "leased", "done", "failed", "corrupt")
+
+# States a job can never leave except through an audited resubmit reset.
+TERMINAL_STATES = frozenset({"done", "failed", "corrupt"})
+
+# States a job row may be *born* in: ``pending`` normally, ``done`` when
+# submit-time coalescing answered it from the result cache.
+BIRTH_STATES = frozenset({"pending", "done"})
+
+# Columns that define *what will execute* under the run key.  Any UPDATE
+# rewriting one of these must recompute the identity checksum in the
+# same statement, or a later claim would verify stale bytes.
+IDENTITY_COLUMNS = frozenset(
+    {"run_key", "physics_key", "kind", "payload", "shots", "num_shards"}
+)
+
+CHECKSUM_COLUMN = "checksum"
+
+# The lease bookkeeping columns; writes outside a declared transition
+# shape are undeclared protocol (RPL401).
+LEASE_COLUMNS = frozenset({"lease_owner", "lease_expires_unix", "heartbeat_unix"})
+
+
+@dataclass(frozen=True)
+class TransitionRule:
+    """One declared SQL write against the ``jobs`` table.
+
+    ``target=None`` declares a non-transition write (a column update
+    that legally leaves ``state`` alone).  ``fenced`` rules must carry
+    the full owner fence in their WHERE clause:
+    ``lease_owner = ?`` and ``state = '<where_state>'``.  Unfenced
+    rules name their ``python_guard`` — the transaction-level reason no
+    SQL fence is needed (e.g. the claim transaction selected and
+    checksum-verified the row under ``BEGIN IMMEDIATE`` before writing).
+    """
+
+    name: str
+    method: str  # enclosing ScanQueue method implementing this write
+    target: str | None  # state value written, None = no state change
+    sources: frozenset  # declared source states (diagram + RPL404)
+    fenced: bool = False
+    where_state: str | None = None  # state the WHERE must pin (fenced rules)
+    python_guard: str | None = None  # why an unfenced rule is still safe
+    must_set: frozenset = frozenset()  # columns the SET must include
+    may_set: frozenset = frozenset()  # additional columns the SET may include
+    must_clear: frozenset = frozenset()  # subset of must_set that must be NULL
+    set_exact: tuple = ()  # ((column, normalized expr), ...) exact shapes
+
+    def __post_init__(self) -> None:
+        if self.target is not None and self.target not in JOB_STATES:
+            raise ValueError(f"rule {self.name}: unknown target {self.target!r}")
+        unknown = set(self.sources) - set(JOB_STATES)
+        if unknown:
+            raise ValueError(f"rule {self.name}: unknown sources {sorted(unknown)}")
+        if not self.must_clear <= self.must_set:
+            raise ValueError(f"rule {self.name}: must_clear must be ⊆ must_set")
+        if self.fenced and self.where_state is None:
+            raise ValueError(f"rule {self.name}: fenced rules pin a WHERE state")
+
+
+@dataclass(frozen=True)
+class BirthRule:
+    """The single declared ``INSERT INTO jobs`` shape.
+
+    Every identity column plus the checksum must be present — a row
+    born without its checksum (or without the columns the checksum
+    covers) could never be claim-verified.  The ``state`` value is a
+    parameter chosen in Python from :data:`BIRTH_STATES` (``pending``,
+    or ``done`` for submit-time cache/pool coalescing).
+    """
+
+    name: str = "birth"
+    method: str = "submit_scan"
+    states: frozenset = BIRTH_STATES
+    required_columns: frozenset = frozenset(
+        IDENTITY_COLUMNS
+        | {
+            CHECKSUM_COLUMN,
+            "state",
+            "priority",
+            "max_attempts",
+            "submitted_unix",
+        }
+    )
+
+
+BIRTH = BirthRule()
+
+_CLAIM_GUARD = (
+    "claim transaction selected and checksum-verified the row under "
+    "BEGIN IMMEDIATE before writing"
+)
+_SUBMIT_GUARD = (
+    "submit transaction re-read the row's state under BEGIN IMMEDIATE "
+    "before writing"
+)
+
+# The declared transition table.  protocheck matches every extracted
+# ``UPDATE jobs`` statement against the rules bound to its enclosing
+# method; a statement matching no rule is an undeclared transition
+# (RPL401), a declared rule implemented by no statement is a dropped
+# edge (RPL407).
+TRANSITION_SPEC: tuple = (
+    TransitionRule(
+        name="absorb_priority",
+        method="submit_scan",
+        target=None,
+        sources=frozenset({"pending", "leased"}),
+        python_guard=_SUBMIT_GUARD,
+        must_set=frozenset({"priority"}),
+        set_exact=(("priority", "max(priority,?)"),),
+    ),
+    TransitionRule(
+        name="resubmit_reset",
+        method="submit_scan",
+        target="pending",
+        sources=frozenset({"failed", "corrupt"}),
+        python_guard=_SUBMIT_GUARD,
+        must_set=frozenset(
+            {
+                "kind",
+                "payload",
+                "shots",
+                "num_shards",
+                "physics_key",
+                "checksum",
+                "priority",
+                "attempts",
+                "max_attempts",
+                "not_before_unix",
+                "lease_owner",
+                "lease_expires_unix",
+                "heartbeat_unix",
+                "source",
+                "result_shots",
+                "result_failures",
+                "result_checksum",
+                "degraded",
+                "error",
+                "submitted_unix",
+                "finished_unix",
+            }
+        ),
+        must_clear=frozenset(
+            {
+                "lease_owner",
+                "lease_expires_unix",
+                "heartbeat_unix",
+                "source",
+                "result_shots",
+                "result_failures",
+                "result_checksum",
+                "error",
+                "finished_unix",
+            }
+        ),
+    ),
+    TransitionRule(
+        name="quarantine_at_claim",
+        method="_claim_once",
+        target="corrupt",
+        sources=frozenset({"pending", "leased"}),
+        python_guard=_CLAIM_GUARD,
+        must_set=frozenset(
+            {"error", "finished_unix", "lease_owner", "lease_expires_unix"}
+        ),
+        must_clear=frozenset({"lease_owner", "lease_expires_unix"}),
+    ),
+    TransitionRule(
+        name="exhaust_at_claim",
+        method="_claim_once",
+        target="failed",
+        sources=frozenset({"pending", "leased"}),
+        python_guard=_CLAIM_GUARD,
+        must_set=frozenset(
+            {"error", "finished_unix", "lease_owner", "lease_expires_unix"}
+        ),
+        must_clear=frozenset({"lease_owner", "lease_expires_unix"}),
+    ),
+    TransitionRule(
+        name="lease_grant",
+        method="_claim_once",
+        target="leased",
+        sources=frozenset({"pending", "leased"}),
+        python_guard=_CLAIM_GUARD,
+        must_set=frozenset(
+            {"lease_owner", "lease_expires_unix", "heartbeat_unix", "attempts"}
+        ),
+        set_exact=(("attempts", "attempts+1"),),
+    ),
+    TransitionRule(
+        name="heartbeat",
+        method="heartbeat",
+        target=None,
+        sources=frozenset({"leased"}),
+        fenced=True,
+        where_state="leased",
+        must_set=frozenset({"heartbeat_unix", "lease_expires_unix"}),
+    ),
+    TransitionRule(
+        name="complete",
+        method="complete",
+        target="done",
+        sources=frozenset({"leased"}),
+        fenced=True,
+        where_state="leased",
+        must_set=frozenset(
+            {
+                "result_shots",
+                "result_failures",
+                "result_checksum",
+                "degraded",
+                "source",
+                "finished_unix",
+                "lease_expires_unix",
+            }
+        ),
+        must_clear=frozenset({"lease_expires_unix"}),
+    ),
+    TransitionRule(
+        name="release_retry",
+        method="release",
+        target="pending",
+        sources=frozenset({"leased"}),
+        fenced=True,
+        where_state="leased",
+        must_set=frozenset(
+            {
+                "not_before_unix",
+                "error",
+                "lease_owner",
+                "lease_expires_unix",
+                "heartbeat_unix",
+            }
+        ),
+        must_clear=frozenset(
+            {"lease_owner", "lease_expires_unix", "heartbeat_unix"}
+        ),
+    ),
+    TransitionRule(
+        name="release_failed",
+        method="release",
+        target="failed",
+        sources=frozenset({"leased"}),
+        fenced=True,
+        where_state="leased",
+        must_set=frozenset(
+            {"error", "finished_unix", "lease_owner", "lease_expires_unix"}
+        ),
+        must_clear=frozenset({"lease_owner", "lease_expires_unix"}),
+    ),
+    TransitionRule(
+        name="requeue_drain",
+        method="requeue",
+        target="pending",
+        sources=frozenset({"leased"}),
+        fenced=True,
+        where_state="leased",
+        must_set=frozenset(
+            {
+                "not_before_unix",
+                "attempts",
+                "lease_owner",
+                "lease_expires_unix",
+                "heartbeat_unix",
+            }
+        ),
+        must_clear=frozenset(
+            {"lease_owner", "lease_expires_unix", "heartbeat_unix"}
+        ),
+        set_exact=(("attempts", "max(attempts-1,0)"),),
+    ),
+    TransitionRule(
+        name="mark_corrupt_read",
+        method="mark_corrupt",
+        target="corrupt",
+        sources=frozenset({"done"}),
+        python_guard=(
+            "result-read validation failed its checksum; quarantining a "
+            "terminal row races nothing"
+        ),
+        must_set=frozenset(
+            {"error", "finished_unix", "lease_owner", "lease_expires_unix"}
+        ),
+        must_clear=frozenset({"lease_owner", "lease_expires_unix"}),
+    ),
+)
+
+
+def transition_diagram() -> str:
+    """The declared state machine rendered for SCHEDULER.md.
+
+    Generated from :data:`TRANSITION_SPEC` so the documented diagram is
+    the verified one; a test asserts SCHEDULER.md embeds this text
+    verbatim.
+    """
+    lines = [
+        "states:   " + " | ".join(JOB_STATES)
+        + "   (terminal: " + ", ".join(sorted(TERMINAL_STATES)) + ")",
+        "birth:    submit_scan -> " + " | ".join(sorted(BIRTH.states))
+        + "   [all identity columns + checksum]",
+    ]
+    for rule in TRANSITION_SPEC:
+        if rule.target is None:
+            continue
+        fence = "owner-fenced" if rule.fenced else "txn-guarded"
+        lines.append(
+            f"{' | '.join(sorted(rule.sources)):<18} -> {rule.target:<8}"
+            f"  {rule.name} ({rule.method}, {fence})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,286 @@
+"""A deliberately tiny SQL parser for the protocol checker.
+
+``repro.analysis.protocheck`` needs to answer structural questions about
+the scheduler's DML — which columns does this UPDATE set, to a parameter
+or to NULL or to a literal, and which conditions fence its WHERE clause —
+without importing sqlite3 (no EXPLAIN tricks) and without a third-party
+grammar.  This module parses exactly the dialect the scheduler writes:
+
+* ``UPDATE <table> SET col = expr, ... [WHERE cond AND cond ...]``
+* ``INSERT INTO <table> (col, ...) VALUES (expr, ...)``
+
+Expressions are classified, not evaluated: ``?`` parameters, ``NULL``,
+string/number literals, bare column references, and anything else
+(``MAX(priority, ?)``, ``attempts+1``) as an opaque expression carrying
+its normalized text so the checker can pin exact shapes.  WHERE clauses
+are split on top-level ``AND`` into ``column <op> value`` conditions.
+
+Anything outside that dialect raises :class:`SqlParseError` — the
+checker converts that into an RPL406 "can't verify" diagnostic rather
+than guessing.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "Condition",
+    "InsertStatement",
+    "SqlParseError",
+    "UpdateStatement",
+    "Value",
+    "parse_statement",
+]
+
+
+class SqlParseError(ValueError):
+    """The statement falls outside the mini-dialect; nothing was guessed."""
+
+
+@dataclass(frozen=True)
+class Value:
+    """A classified right-hand side.
+
+    ``kind`` is one of ``param`` (``?``), ``null``, ``string``,
+    ``number``, ``column``, or ``expr``.  ``text`` holds the unquoted
+    literal for strings, the digits for numbers, the identifier for
+    columns, and the whitespace-free lowercase source for exprs.
+    """
+
+    kind: str
+    text: str
+
+    @property
+    def is_null(self) -> bool:
+        return self.kind == "null"
+
+    @property
+    def is_param(self) -> bool:
+        return self.kind == "param"
+
+
+@dataclass(frozen=True)
+class Condition:
+    column: str
+    op: str
+    value: Value
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    table: str
+    assignments: tuple  # ((column, Value), ...) in statement order
+    where: tuple  # (Condition, ...) split on top-level AND
+
+    @property
+    def set_columns(self) -> dict:
+        return dict(self.assignments)
+
+    def where_value(self, column: str) -> Value | None:
+        for cond in self.where:
+            if cond.column == column and cond.op == "=":
+                return cond.value
+        return None
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    table: str
+    columns: tuple
+    values: tuple  # (Value, ...) positionally matching ``columns``
+
+    @property
+    def column_values(self) -> dict:
+        return dict(zip(self.columns, self.values))
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<string>'(?:[^']|'')*')
+    | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+    | (?P<number>\d+(?:\.\d+)?)
+    | (?P<op><=|>=|!=|<>|=|<|>)
+    | (?P<punct>[(),?*+\-/])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset(
+    {"UPDATE", "SET", "WHERE", "AND", "INSERT", "INTO", "VALUES", "NULL", "OR", "NOT"}
+)
+
+
+def _tokenize(sql: str) -> list:
+    tokens = []
+    pos = 0
+    while pos < len(sql):
+        m = _TOKEN_RE.match(sql, pos)
+        if m is None:
+            raise SqlParseError(f"unrecognized SQL at offset {pos}: {sql[pos:pos + 20]!r}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        tokens.append((m.lastgroup, m.group()))
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: list) -> None:
+        self.tokens = tokens
+        self.i = 0
+
+    def peek(self):
+        return self.tokens[self.i] if self.i < len(self.tokens) else (None, None)
+
+    def next(self):
+        tok = self.peek()
+        if tok[0] is None:
+            raise SqlParseError("unexpected end of statement")
+        self.i += 1
+        return tok
+
+    def at_keyword(self, word: str) -> bool:
+        kind, text = self.peek()
+        return kind == "name" and text.upper() == word
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.at_keyword(word):
+            raise SqlParseError(f"expected {word}, found {self.peek()[1]!r}")
+        self.next()
+
+    def expect_name(self) -> str:
+        kind, text = self.next()
+        if kind != "name" or text.upper() in _KEYWORDS:
+            raise SqlParseError(f"expected identifier, found {text!r}")
+        return text
+
+    def expect_punct(self, char: str) -> None:
+        kind, text = self.next()
+        if kind != "punct" or text != char:
+            raise SqlParseError(f"expected {char!r}, found {text!r}")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.i >= len(self.tokens)
+
+
+def _classify(tokens: list) -> Value:
+    if not tokens:
+        raise SqlParseError("empty expression")
+    if len(tokens) == 1:
+        kind, text = tokens[0]
+        if kind == "punct" and text == "?":
+            return Value("param", "?")
+        if kind == "name" and text.upper() == "NULL":
+            return Value("null", "NULL")
+        if kind == "string":
+            return Value("string", text[1:-1].replace("''", "'"))
+        if kind == "number":
+            return Value("number", text)
+        if kind == "name":
+            return Value("column", text)
+        raise SqlParseError(f"unexpected expression token {text!r}")
+    normalized = "".join(text for _, text in tokens).lower()
+    return Value("expr", normalized)
+
+
+def _collect_expr(cur: _Cursor, *, stop_keywords: frozenset) -> Value:
+    """Collect tokens until a top-level comma, closing paren, or keyword."""
+    tokens = []
+    depth = 0
+    while not cur.exhausted:
+        kind, text = cur.peek()
+        if depth == 0:
+            if kind == "punct" and text in {",", ")"}:
+                break
+            if kind == "name" and text.upper() in stop_keywords:
+                break
+        if kind == "punct" and text == "(":
+            depth += 1
+        elif kind == "punct" and text == ")":
+            depth -= 1
+        tokens.append(cur.next())
+    return _classify(tokens)
+
+
+def _parse_update(cur: _Cursor) -> UpdateStatement:
+    cur.expect_keyword("UPDATE")
+    table = cur.expect_name()
+    cur.expect_keyword("SET")
+    assignments = []
+    while True:
+        column = cur.expect_name()
+        kind, text = cur.next()
+        if kind != "op" or text != "=":
+            raise SqlParseError(f"expected = after SET column, found {text!r}")
+        assignments.append((column, _collect_expr(cur, stop_keywords=frozenset({"WHERE"}))))
+        if cur.peek() == ("punct", ","):
+            cur.next()
+            continue
+        break
+    where = []
+    if cur.at_keyword("WHERE"):
+        cur.next()
+        while True:
+            column = cur.expect_name()
+            kind, op = cur.next()
+            if kind != "op":
+                raise SqlParseError(f"expected comparison after {column}, found {op!r}")
+            value = _collect_expr(cur, stop_keywords=frozenset({"AND", "OR"}))
+            where.append(Condition(column, op, value))
+            if cur.at_keyword("AND"):
+                cur.next()
+                continue
+            if cur.at_keyword("OR"):
+                raise SqlParseError("top-level OR in a jobs WHERE clause is unsupported")
+            break
+    if not cur.exhausted:
+        raise SqlParseError(f"trailing tokens after statement: {cur.peek()[1]!r}")
+    duplicate = len({c for c, _ in assignments}) != len(assignments)
+    if duplicate:
+        raise SqlParseError("duplicate column in SET clause")
+    return UpdateStatement(table=table, assignments=tuple(assignments), where=tuple(where))
+
+
+def _parse_insert(cur: _Cursor) -> InsertStatement:
+    cur.expect_keyword("INSERT")
+    cur.expect_keyword("INTO")
+    table = cur.expect_name()
+    cur.expect_punct("(")
+    columns = [cur.expect_name()]
+    while cur.peek() == ("punct", ","):
+        cur.next()
+        columns.append(cur.expect_name())
+    cur.expect_punct(")")
+    cur.expect_keyword("VALUES")
+    cur.expect_punct("(")
+    values = [_collect_expr(cur, stop_keywords=frozenset())]
+    while cur.peek() == ("punct", ","):
+        cur.next()
+        values.append(_collect_expr(cur, stop_keywords=frozenset()))
+    cur.expect_punct(")")
+    if not cur.exhausted:
+        raise SqlParseError(f"trailing tokens after statement: {cur.peek()[1]!r}")
+    if len(columns) != len(values):
+        raise SqlParseError(
+            f"INSERT lists {len(columns)} columns but {len(values)} values"
+        )
+    if len(set(columns)) != len(columns):
+        raise SqlParseError("duplicate column in INSERT list")
+    return InsertStatement(table=table, columns=tuple(columns), values=tuple(values))
+
+
+def parse_statement(sql: str):
+    """Parse one statement into an Update/InsertStatement.
+
+    Raises :class:`SqlParseError` for anything outside the mini-dialect.
+    """
+    cur = _Cursor(_tokenize(sql))
+    if cur.at_keyword("UPDATE"):
+        return _parse_update(cur)
+    if cur.at_keyword("INSERT"):
+        return _parse_insert(cur)
+    raise SqlParseError(f"not an UPDATE/INSERT statement: {sql[:40]!r}")

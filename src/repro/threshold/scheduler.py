@@ -167,7 +167,19 @@ CREATE TABLE IF NOT EXISTS events (
 );
 """
 
-_JOB_STATES = ("pending", "leased", "done", "failed", "corrupt")
+# The state machine is declared once, in repro.analysis.protospec, and
+# imported here so the implementation and the protocol verifier
+# (`python -m repro.analysis --verify-protocol`, ANALYSIS.md) can never
+# disagree about the state set.  TRANSITION_SPEC is re-exported as this
+# module's declared protocol; every UPDATE/INSERT against `jobs` below
+# is statically checked against it (protocheck), and its composition
+# under arbitrary claimant interleavings is exhaustively explored
+# (repro.analysis.explore).  SCHEDULER.md embeds the generated diagram.
+from repro.analysis.protospec import (  # noqa: E402
+    JOB_STATES as _JOB_STATES,
+    TRANSITION_SPEC,
+)
+
 _JOB_KINDS = ("memory", "capacity")
 
 
@@ -882,14 +894,20 @@ class ScanQueue:
                 return "stale"
             attempts, max_attempts = int(row[0]), int(row[1])
             if attempts >= max_attempts:
+                # The same-transaction SELECT above already proved we hold
+                # the lease, but the write re-states the owner fence anyway:
+                # protocheck (RPL402/RPL404) requires every release-side
+                # terminal write to be fenced on its own, not by context.
                 self._conn.execute(
                     "UPDATE jobs SET state='failed', error=?, finished_unix=?, "
-                    "lease_owner=NULL, lease_expires_unix=NULL WHERE job_id=?",
+                    "lease_owner=NULL, lease_expires_unix=NULL "
+                    "WHERE job_id=? AND lease_owner=? AND state='leased'",
                     (
                         f"attempt budget exhausted ({attempts}/{max_attempts}); "
                         f"last error: {error}",
                         wall,
                         int(job_id),
+                        owner,
                     ),
                 )
                 self._event(job_id, "failed", owner, error, wall)
@@ -900,8 +918,9 @@ class ScanQueue:
             self._conn.execute(
                 "UPDATE jobs SET state='pending', lease_owner=NULL, "
                 "lease_expires_unix=NULL, heartbeat_unix=NULL, "
-                "not_before_unix=?, error=? WHERE job_id=?",
-                (wall + delay, error, int(job_id)),
+                "not_before_unix=?, error=? "
+                "WHERE job_id=? AND lease_owner=? AND state='leased'",
+                (wall + delay, error, int(job_id), owner),
             )
             self._event(job_id, "released", owner, f"retry in {delay:.2f}s: {error}", wall)
             return "retry"
@@ -966,24 +985,31 @@ class ScanQueue:
         """All job rows (optionally filtered by state), FIFO order."""
         if state is not None and state not in _JOB_STATES:
             raise ValueError(f"unknown state {state!r}; valid: {_JOB_STATES}")
-        sql = "SELECT * FROM jobs"
-        params: tuple = ()
-        if state is not None:
-            sql += " WHERE state=?"
-            params = (state,)
-        cur = self._conn.execute(sql + " ORDER BY job_id", params)
+        # One static statement per shape (RPL308): built SQL would be
+        # invisible to the protocol checker.
+        if state is None:
+            cur = self._conn.execute("SELECT * FROM jobs ORDER BY job_id")
+        else:
+            cur = self._conn.execute(
+                "SELECT * FROM jobs WHERE state=? ORDER BY job_id", (state,)
+            )
         names = [d[0] for d in cur.description]
         return [dict(zip(names, row)) for row in cur.fetchall()]
 
     def events(self, job_id: int | None = None) -> list[tuple]:
         """Audit trail: ``(job_id, event, owner, detail, at_unix)`` in order."""
-        sql = (
-            "SELECT job_id, event, owner, detail, at_unix FROM events"
-            + (" WHERE job_id=?" if job_id is not None else "")
-            + " ORDER BY event_id"
-        )
-        params = (int(job_id),) if job_id is not None else ()
-        return [tuple(r) for r in self._conn.execute(sql, params)]
+        if job_id is None:
+            rows = self._conn.execute(
+                "SELECT job_id, event, owner, detail, at_unix FROM events "
+                "ORDER BY event_id"
+            )
+        else:
+            rows = self._conn.execute(
+                "SELECT job_id, event, owner, detail, at_unix FROM events "
+                "WHERE job_id=? ORDER BY event_id",
+                (int(job_id),),
+            )
+        return [tuple(r) for r in rows]
 
     def active_run_keys(self) -> set[str]:
         """Run keys of jobs that are pending or leased — the set a result

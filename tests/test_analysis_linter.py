@@ -390,6 +390,62 @@ class TestConcurrencyRules:
         assert codes(clean) == []
 
 
+class TestSqlRules:
+    def test_rpl308_fstring_execute_fires(self):
+        fired = lint(
+            """
+            def fetch(conn, state):
+                return conn.execute(f"SELECT * FROM jobs WHERE state={state!r}")
+            """
+        )
+        assert codes(fired) == ["RPL308"]
+
+    def test_rpl308_accumulated_sql_fires(self):
+        """The canonical shape the scheduler used to carry: a static base
+        statement grown with `sql += " WHERE ..."` per optional filter."""
+        fired = lint(
+            """
+            def jobs(conn, state):
+                sql = "SELECT * FROM jobs"
+                if state is not None:
+                    sql += " WHERE state=?"
+                return conn.execute(sql)
+            """
+        )
+        assert codes(fired) == ["RPL308"]
+
+    def test_rpl308_nonconstant_concat_and_percent_fire(self):
+        fired = lint(
+            """
+            def events(conn, job_id, kind):
+                sql = "SELECT * FROM events" + (" WHERE job_id=?" if job_id else "")
+                conn.execute("DELETE FROM events WHERE kind=%s" % kind)
+                return conn.execute(sql)
+            """
+        )
+        assert codes(fired) == ["RPL308", "RPL308"]
+
+    def test_rpl308_quiet_on_static_sql_pragmas_and_prose(self):
+        """Static statements (including implicit/constant concatenation),
+        the schema-version PRAGMA f-string, and error messages that merely
+        *mention* SQL keywords are all fine."""
+        clean = lint(
+            """
+            VERSION = 3
+
+            def setup(conn, job_id):
+                conn.execute(f"PRAGMA user_version = {VERSION}")
+                sql = (
+                    "UPDATE jobs SET state='done' "
+                    "WHERE job_id=? AND lease_owner=?"
+                )
+                conn.execute(sql, (job_id, "owner"))
+                raise ValueError(f"expected = after SET column near {job_id}")
+            """
+        )
+        assert codes(clean) == []
+
+
 # ----------------------------------------------------------------------
 # Profiles, suppressions, baseline.
 # ----------------------------------------------------------------------
@@ -399,9 +455,17 @@ class TestMachinery:
             "RPL101", "RPL102", "RPL103", "RPL104",
             "RPL201", "RPL202", "RPL203",
             "RPL301", "RPL302", "RPL303", "RPL304", "RPL305",
-            "RPL306", "RPL307",
+            "RPL306", "RPL307", "RPL308",
         }
-        assert exercised == set(RULES)
+        # The RPL4xx protocol diagnostics are emitted by protocheck, not
+        # the per-file lint; their firing/quiet fixtures (scheduler
+        # mutants) live in tests/test_analysis_protocheck.py.
+        protocol = {code for code in RULES if code.startswith("RPL4")}
+        assert protocol == {
+            "RPL401", "RPL402", "RPL403", "RPL404",
+            "RPL405", "RPL406", "RPL407",
+        }
+        assert exercised == set(RULES) - protocol
 
     def test_tests_profile_keeps_rng_rules_only(self):
         source = textwrap.dedent(
@@ -528,7 +592,8 @@ class TestRepoIsClean:
             for p, profile in collect_targets(REPO_ROOT)
         )
         assert targets["src/repro/analysis/linter.py"] == "src"
-        assert targets["scripts_run_full.py"] == "src"
+        assert targets["scripts_run_full.py"] == "tools"
+        assert targets["scripts/bench_perf.py"] == "tools"
         assert targets["tests/test_analysis_linter.py"] == "tests"
 
     def test_progcheck_reexport_is_lazy(self):

@@ -1,0 +1,323 @@
+"""Scheduler protocol verifier: the SQL mini-parser, the static
+conformance pass (protocheck), and the interleaving explorer.
+
+The mutant tests are the teeth: each one applies a realistic bad edit to
+the *shipped* scheduler source and asserts the checker reports exactly
+the expected RPL4xx defect.  A mutated rule usually also leaves its
+declared transition unimplemented, so an RPL407 companion
+("declared transition with no conforming statement") is legitimate
+alongside the primary code — but nothing else is.
+
+The explorer tests pin the minimal counterexample traces: when a
+protocol knob is weakened the model must not merely fail, it must fail
+with the *specific* interleaving that breaks the real scheduler.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.explore import ModelConfig, explore
+from repro.analysis.protocheck import check_source, extract_jobs_dml
+from repro.analysis.protospec import (
+    JOB_STATES,
+    TRANSITION_SPEC,
+    transition_diagram,
+)
+from repro.analysis.sqlmini import (
+    SqlParseError,
+    UpdateStatement,
+    parse_statement,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCHEDULER = REPO_ROOT / "src" / "repro" / "threshold" / "scheduler.py"
+
+
+# ----------------------------------------------------------------------
+# SQL mini-parser.
+# ----------------------------------------------------------------------
+class TestSqlMini:
+    def test_update_round_trip(self):
+        stmt = parse_statement(
+            "UPDATE jobs SET state='done', result_shots=?, lease_owner=NULL "
+            "WHERE job_id=? AND lease_owner=? AND state='leased'"
+        )
+        assert isinstance(stmt, UpdateStatement)
+        assert stmt.table == "jobs"
+        cols = stmt.set_columns
+        assert cols["state"].text == "done"
+        assert cols["result_shots"].is_param
+        assert cols["lease_owner"].is_null
+        assert stmt.where_value("job_id").is_param
+        assert stmt.where_value("state").text == "leased"
+        assert stmt.where_value("missing") is None
+
+    def test_update_expression_assignments_normalize(self):
+        stmt = parse_statement(
+            "UPDATE jobs SET attempts=MAX(attempts - 1, 0), priority=MAX(priority, ?) "
+            "WHERE job_id=?"
+        )
+        assert stmt.set_columns["attempts"].kind == "expr"
+        assert stmt.set_columns["attempts"].text == "max(attempts-1,0)"
+        assert stmt.set_columns["priority"].text == "max(priority,?)"
+
+    def test_insert_round_trip(self):
+        stmt = parse_statement(
+            "INSERT INTO jobs (run_key, state, shots) VALUES (?, 'pending', ?)"
+        )
+        assert stmt.table == "jobs"
+        assert stmt.columns == ("run_key", "state", "shots")
+        assert stmt.column_values["state"].text == "pending"
+        assert stmt.column_values["shots"].is_param
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "UPDATE jobs SET WHERE job_id=?",  # no assignments
+            "UPDATE jobs SET state 'done' WHERE job_id=?",  # missing =
+            "UPDATE jobs SET state=?, state=? WHERE job_id=?",  # dup column
+            "UPDATE jobs SET state=? WHERE job_id=? OR state=?",  # top-level OR
+            "INSERT INTO jobs (a, b) VALUES (?)",  # count mismatch
+            "INSERT INTO jobs (a, a) VALUES (?, ?)",  # dup column
+            "DELETE FROM jobs WHERE job_id=?",  # unsupported verb
+        ],
+    )
+    def test_malformed_sql_raises(self, bad):
+        with pytest.raises(SqlParseError):
+            parse_statement(bad)
+
+
+# ----------------------------------------------------------------------
+# Shipped scheduler conformance.
+# ----------------------------------------------------------------------
+class TestShippedScheduler:
+    def test_shipped_scheduler_verifies_clean(self):
+        report = check_source(SCHEDULER.read_text(), "scheduler.py")
+        assert report.diagnostics == []
+        assert report.ok
+
+    def test_every_jobs_statement_is_extracted(self):
+        """The extractor sees all jobs-table DML, including statements
+        built by constant concatenation inside nested txn closures."""
+        statements, extraction_diags = extract_jobs_dml(
+            SCHEDULER.read_text(), "scheduler.py"
+        )
+        assert extraction_diags == []
+        assert len(statements) >= 13
+        methods = {s.method for s in statements}
+        # Nested `_txn`/`_body` closures must resolve to the enclosing
+        # public method, never to the closure's own name.
+        assert methods & {"submit_scan", "complete", "release", "requeue"}
+        assert not methods & {"_txn", "_retry", "_body"}
+
+    def test_every_declared_transition_is_implemented(self):
+        report = check_source(SCHEDULER.read_text(), "scheduler.py")
+        expected = {r.name for r in TRANSITION_SPEC} | {"birth"}
+        assert set(report.matched_rules) == expected
+
+    def test_scheduler_states_are_the_declared_states(self):
+        """The runtime tuple IS the spec object — they cannot drift."""
+        from repro.threshold import scheduler
+
+        assert scheduler._JOB_STATES is JOB_STATES
+
+
+# ----------------------------------------------------------------------
+# Mutants: realistic bad edits the checker must catch.
+# ----------------------------------------------------------------------
+def mutate_after(source: str, anchor: str, old: str, new: str) -> str:
+    """Replace the first ``old`` occurring after ``anchor``."""
+    start = source.index(anchor)
+    at = source.index(old, start)
+    return source[:at] + new + source[at + len(old):]
+
+
+def _codes(source: str) -> list[str]:
+    return [d.rule for d in check_source(source, "scheduler.py").diagnostics]
+
+
+def _assert_detects(source: str, primary: str) -> None:
+    """The mutant must raise ``primary``; an RPL407 companion (the
+    mutated rule's transition is now unimplemented) is the only other
+    diagnostic allowed — anything else is checker noise."""
+    codes = _codes(source)
+    assert primary in codes, f"expected {primary}, got {codes}"
+    assert set(codes) <= {primary, "RPL407"}, codes
+
+
+class TestMutants:
+    def test_clean_before_mutation(self):
+        assert _codes(SCHEDULER.read_text()) == []
+
+    def test_dropped_owner_fence_on_complete_is_rpl402(self):
+        mutated = mutate_after(
+            SCHEDULER.read_text(), "SET state='done'", "lease_owner=? AND ", ""
+        )
+        _assert_detects(mutated, "RPL402")
+
+    def test_rogue_terminal_update_is_rpl401(self):
+        """A brand-new code path writing jobs outside the declared
+        protocol (no fence, no source-state pin, wrong method)."""
+        rogue = (
+            "\n\ndef _expedite(conn, job_id):\n"
+            "    conn.execute(\n"
+            "        \"UPDATE jobs SET state='done', finished_unix=? \"\n"
+            "        \"WHERE job_id=?\",\n"
+            "        (0, job_id),\n"
+            "    )\n"
+        )
+        codes = _codes(SCHEDULER.read_text() + rogue)
+        assert codes == ["RPL401"]
+
+    def test_identity_rewrite_without_checksum_is_rpl403(self):
+        mutated = SCHEDULER.read_text().replace("checksum=?, ", "", 1)
+        codes = _codes(mutated)
+        assert codes == ["RPL403"]
+
+    def test_wrong_source_state_pin_is_rpl404(self):
+        mutated = mutate_after(
+            SCHEDULER.read_text(),
+            "SET state='done'",
+            "AND state='leased'",
+            "AND state='pending'",
+        )
+        _assert_detects(mutated, "RPL404")
+
+    def test_lease_grant_without_expiry_stamp_is_rpl405(self):
+        mutated = mutate_after(
+            SCHEDULER.read_text(),
+            "SET state='leased'",
+            "lease_expires_unix=?, ",
+            "",
+        )
+        _assert_detects(mutated, "RPL405")
+
+    def test_dropped_fence_on_drain_requeue_is_rpl402(self):
+        mutated = mutate_after(
+            SCHEDULER.read_text(),
+            "attempts=MAX(attempts - 1, 0)",
+            "lease_owner=? AND ",
+            "",
+        )
+        _assert_detects(mutated, "RPL402")
+
+
+class TestDynamicSql:
+    def test_fstring_jobs_dml_is_rpl406(self):
+        source = (
+            "def zap(conn, state):\n"
+            "    conn.execute(f\"UPDATE jobs SET state={state!r} WHERE job_id=?\")\n"
+        )
+        codes = _codes(source)
+        assert codes.count("RPL406") == 1
+        # ... and with no statements extracted, every declared transition
+        # (plus the birth rule) is reported unimplemented.
+        assert codes.count("RPL407") == len(TRANSITION_SPEC) + 1
+        assert set(codes) == {"RPL406", "RPL407"}
+
+    def test_accumulated_jobs_dml_is_rpl406(self):
+        source = (
+            "def fetch(conn, state):\n"
+            "    sql = \"UPDATE jobs SET heartbeat_unix=? \"\n"
+            "    if state:\n"
+            "        sql += \"WHERE state=?\"\n"
+            "    conn.execute(sql)\n"
+        )
+        codes = _codes(source)
+        assert "RPL406" in codes
+
+
+# ----------------------------------------------------------------------
+# Interleaving explorer.
+# ----------------------------------------------------------------------
+class TestExplorer:
+    def test_real_protocol_is_exhaustively_safe(self):
+        report = explore(ModelConfig())
+        assert report.ok
+        assert not report.truncated  # the full space fits under the bound
+        assert report.violations == []
+        assert report.states > 1000  # non-trivial space actually explored
+
+    def test_exploration_is_deterministic(self):
+        a, b = explore(ModelConfig()), explore(ModelConfig())
+        assert (a.states, a.transitions, a.violations) == (
+            b.states, b.transitions, b.violations
+        )
+
+    def test_unfenced_complete_yields_the_stale_lease_race(self):
+        """Without the owner fence, the classic race: c0's lease expires,
+        c1 takes over, and c0 — resurrected — writes the terminal state
+        it no longer owns."""
+        report = explore(ModelConfig(shards=1, fenced_complete=False))
+        assert not report.ok
+        violation = report.violations[0]
+        assert "terminal write by c0 without the lease" in violation.invariant
+        assert list(violation.trace) == [
+            "c0.claim (attempt 1)",
+            "tick (clock -> 1)",
+            "c1.claim (attempt 2, stale-lease takeover)",
+            "c0.shard(0) -> durable",
+            "c0.complete -> done",
+        ]
+
+    def test_unfenced_requeue_yields_the_stale_drain_race(self):
+        report = explore(ModelConfig(shards=1, fenced_requeue=False))
+        assert not report.ok
+        violation = report.violations[0]
+        assert "requeue by c0 without the lease" in violation.invariant
+        assert list(violation.trace) == [
+            "c0.claim (attempt 1)",
+            "tick (clock -> 1)",
+            "c1.claim (attempt 2, stale-lease takeover)",
+            "c0.drain -> requeued",
+        ]
+
+    def test_unrefunded_drain_charges_the_attempt(self):
+        """The minimal counterexample is two steps: claim then drain —
+        the job lost an attempt to an administrative action."""
+        report = explore(ModelConfig(shards=1, refund_on_requeue=False))
+        assert not report.ok
+        violation = report.violations[0]
+        assert "drain charged the attempt" in violation.invariant
+        assert list(violation.trace) == [
+            "c0.claim (attempt 1)",
+            "c0.drain -> requeued",
+        ]
+
+    def test_double_pooling_is_the_lost_update(self):
+        report = explore(ModelConfig(shards=1, double_pool=True))
+        assert not report.ok
+        assert "lost update" in report.violations[0].invariant
+
+    def test_recompute_without_cache_resume_is_still_safe(self):
+        """Ignoring the durable cache on takeover is wasteful but SAFE —
+        shard writes are idempotent, so the explorer must NOT flag it.
+        Pinned as a positive property: the invariants catch protocol
+        violations, not performance sins."""
+        report = explore(ModelConfig(shards=1, resume_from_cache=False))
+        assert report.ok
+
+    def test_depth_bound_reports_truncation_honestly(self):
+        report = explore(ModelConfig(max_steps=3))
+        assert report.truncated
+        assert report.ok  # no violation within the bound — and says so
+
+
+# ----------------------------------------------------------------------
+# Docs stay in lockstep.
+# ----------------------------------------------------------------------
+class TestDocs:
+    def test_scheduler_md_embeds_the_declared_diagram(self):
+        """SCHEDULER.md's transition diagram is generated from the spec
+        the checker enforces — prose cannot drift from the machine."""
+        text = (REPO_ROOT / "SCHEDULER.md").read_text()
+        assert transition_diagram() in text
+
+    def test_analysis_md_documents_the_protocol_rules(self):
+        text = (REPO_ROOT / "ANALYSIS.md").read_text()
+        for code in ("RPL308", "RPL401", "RPL402", "RPL403", "RPL404",
+                     "RPL405", "RPL406", "RPL407"):
+            assert code in text

@@ -335,14 +335,26 @@ class TestBenchGuard:
     record-comparison functions; nothing is measured here)."""
 
     @staticmethod
-    def _record(rate=4e6, shots=10_000, rounds=10, sharded=None):
+    def _record(rate=4e6, shots=10_000, rounds=10, sharded=None,
+                hostname="vm", cpus=1):
         record = {
-            "config": {"shots": shots, "rounds": rounds, "noise": "circuit_level(0.001)"},
+            "config": {
+                "shots": shots, "rounds": rounds,
+                "noise": "circuit_level(0.001)",
+                "hostname": hostname, "cpu_count": cpus,
+            },
             "compiled": {"shot_rounds_per_sec": rate},
         }
         if sharded is not None:
             record["sharded"] = sharded
         return record
+
+    @staticmethod
+    def _stored(path, record):
+        """Record under host_baselines as bench_perf v5 stores it."""
+        import bench_perf
+
+        return bench_perf.load_baselines(path)[bench_perf._host_key(record)]
 
     def test_same_protocol_regression_detected(self):
         from bench_perf import check_regression
@@ -365,33 +377,56 @@ class TestBenchGuard:
         assert check_regression(regressed, old)
         assert check_regression(other_workers, old) is None
 
-    def test_cpu_count_mismatch_skips_guard(self, capsys):
-        """A baseline from unlike hardware compares nothing: throughput on
-        a different core count says nothing about the code."""
-        from bench_perf import check_regression
+    def test_host_key_separates_unlike_hardware(self):
+        """Unlike hardware never meets in a comparison: each
+        (hostname, cpu_count) owns its own baseline key."""
+        from bench_perf import _host_key
 
-        old = self._record(rate=4e6)
-        old["config"]["cpu_count"] = 8
-        new = self._record(rate=1e6)  # would be a 4x regression...
-        new["config"]["cpu_count"] = 1
-        assert check_regression(new, old) is None
-        assert "not like-for-like hardware" in capsys.readouterr().err
+        assert _host_key(self._record(hostname="vm", cpus=1)) == "vm|1cpu"
+        assert _host_key(self._record(hostname="vm", cpus=8)) != _host_key(
+            self._record(hostname="vm", cpus=1)
+        )
+        assert _host_key(self._record(hostname="ci", cpus=8)) != _host_key(
+            self._record(hostname="vm", cpus=8)
+        )
 
-    def test_cpu_count_match_keeps_guard_engaged(self):
-        from bench_perf import check_regression
+    def test_new_host_writes_fresh_and_preserves_other_hosts(self, tmp_path):
+        """A run on hardware with no stored record starts its own ratchet
+        (the v4 behavior silently *skipped* the guard instead) and never
+        clobbers another host's baseline."""
+        from bench_perf import _host_key, write_guarded
 
-        old = self._record(rate=4e6)
-        old["config"]["cpu_count"] = 8
-        new = self._record(rate=1e6)
-        new["config"]["cpu_count"] = 8
-        assert check_regression(new, old)
+        path = tmp_path / "bench.json"
+        old_host = self._record(rate=4e6, hostname="vm", cpus=1)
+        assert write_guarded(old_host, path) == 0
+        # 4x slower, but on different hardware: fresh ratchet, no refusal.
+        new_host = self._record(rate=1e6, hostname="ci", cpus=8)
+        assert write_guarded(new_host, path) == 0
+        assert self._stored(path, old_host)["compiled"]["shot_rounds_per_sec"] == 4e6
+        assert self._stored(path, new_host)["compiled"]["shot_rounds_per_sec"] == 1e6
+        # ... and the guard is live for the new host from then on.
+        assert write_guarded(self._record(rate=2e5, hostname="ci", cpus=8), path) == 2
 
-    def test_legacy_records_without_cpu_count_keep_guard_engaged(self):
-        """Pre-existing baselines lack the field on both sides (as the
-        other tests in this class do); None == None stays like-for-like."""
-        from bench_perf import check_regression
+    def test_same_host_regression_refused_on_write(self, tmp_path):
+        from bench_perf import write_guarded
 
-        assert check_regression(self._record(rate=1e6), self._record(rate=4e6))
+        path = tmp_path / "bench.json"
+        assert write_guarded(self._record(rate=4e6), path) == 0
+        assert write_guarded(self._record(rate=1e6), path) == 2
+
+    def test_v4_single_record_file_migrates_under_its_host_key(self, tmp_path):
+        """A pre-v5 file (one bare record at the top level) keeps guarding
+        the host that recorded it."""
+        from bench_perf import load_baselines, write_guarded
+
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(self._record(rate=4e6)))
+        assert load_baselines(path) == {"vm|1cpu": self._record(rate=4e6)}
+        assert write_guarded(self._record(rate=1e6), path) == 2
+        assert write_guarded(self._record(rate=5e6), path) == 0
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == 5
+        assert set(data["host_baselines"]) == {"vm|1cpu"}
 
     def test_write_refuses_protocol_mismatch(self, tmp_path):
         from bench_perf import write_guarded
@@ -405,9 +440,10 @@ class TestBenchGuard:
 
         path = tmp_path / "bench.json"
         sharded = {"workers": 2, "shot_rounds_per_sec": 8e6}
-        path.write_text(json.dumps(self._record(sharded=sharded)))
+        stored = self._record(sharded=sharded)
+        path.write_text(json.dumps(stored))
         assert write_guarded(self._record(), path) == 0
-        assert json.loads(path.read_text())["sharded"] == {
+        assert self._stored(path, stored)["sharded"] == {
             **sharded, "carried_forward": True
         }
 
@@ -422,7 +458,7 @@ class TestBenchGuard:
         assert write_guarded(mismatched, path) == 2
         # --force replaces the sharded baseline deliberately.
         assert write_guarded(mismatched, path, force=True) == 0
-        assert json.loads(path.read_text())["sharded"]["workers"] == 4
+        assert self._stored(path, mismatched)["sharded"]["workers"] == 4
 
     def test_write_does_not_mutate_caller_record(self, tmp_path):
         from bench_perf import write_guarded
